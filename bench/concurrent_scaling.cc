@@ -1,0 +1,97 @@
+// Extension bench (paper §4.4): thread scaling of the per-bin-locked
+// concurrent prefix filter.  The paper predicts near-linear scaling because
+// every operation locks a single cache line of bins; we measure insert and
+// query throughput at 1..hardware_concurrency threads.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/concurrent_prefix_filter.h"
+#include "src/core/spare.h"
+
+namespace {
+
+namespace bench = prefixfilter::bench;
+using prefixfilter::ConcurrentPrefixFilter;
+using prefixfilter::SpareCf12Traits;
+
+double ParallelInsert(ConcurrentPrefixFilter<SpareCf12Traits>& pf,
+                      const std::vector<uint64_t>& keys, int threads) {
+  bench::Timer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (size_t i = t; i < keys.size(); i += threads) pf.Insert(keys[i]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return timer.Seconds();
+}
+
+double ParallelQuery(const ConcurrentPrefixFilter<SpareCf12Traits>& pf,
+                     const std::vector<uint64_t>& keys, int threads) {
+  bench::Timer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      uint64_t found = 0;
+      for (size_t i = t; i < keys.size(); i += threads) {
+        found += pf.Contains(keys[i]);
+      }
+      bench::KeepAlive(found);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const uint64_t n = options.n();
+  const auto keys = prefixfilter::RandomKeys(n, options.seed);
+  const auto probes = prefixfilter::RandomKeys(n, options.seed ^ 0xccu);
+
+  const int max_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("== Concurrent prefix filter scaling (§4.4 extension) ==\n");
+  std::printf("n = %llu, hardware threads = %d\n\n",
+              static_cast<unsigned long long>(n), max_threads);
+  std::printf("%8s | %14s | %16s | %16s\n", "threads", "insert Mops/s",
+              "negq@full Mops/s", "negq@50%% Mops/s");
+  std::printf("---------+----------------+------------------+----------------\n");
+
+  double base_insert = 0, base_full = 0, base_half = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    // Half-loaded filter: essentially no spare traffic, so queries measure
+    // pure per-bin locking.  Full load adds the (mutex-guarded) spare's ~6%.
+    ConcurrentPrefixFilter<SpareCf12Traits> half(n, 0.95, options.seed);
+    for (uint64_t i = 0; i < n / 2; ++i) half.Insert(keys[i]);
+    const double half_secs = ParallelQuery(half, probes, threads);
+
+    ConcurrentPrefixFilter<SpareCf12Traits> pf(n, 0.95, options.seed);
+    const double ins_secs = ParallelInsert(pf, keys, threads);
+    const double full_secs = ParallelQuery(pf, probes, threads);
+
+    const double ins_mops = bench::OpsPerSec(n, ins_secs) / 1e6;
+    const double full_mops = bench::OpsPerSec(n, full_secs) / 1e6;
+    const double half_mops = bench::OpsPerSec(n, half_secs) / 1e6;
+    if (threads == 1) {
+      base_insert = ins_mops;
+      base_full = full_mops;
+      base_half = half_mops;
+    }
+    std::printf("%8d | %8.1f (%.2fx) | %9.1f (%.2fx) | %9.1f (%.2fx)\n",
+                threads, ins_mops, ins_mops / base_insert, full_mops,
+                full_mops / base_full, half_mops, half_mops / base_half);
+  }
+  std::printf(
+      "\nNotes: per-bin (cache-line-striped, line-padded) locks serialize\n"
+      "nothing but same-line bin accesses; at full load ~6%% of queries also\n"
+      "take the single spare mutex (the paper assumes a concurrent spare).\n"
+      "Interpret speedups against this machine's raw thread scaling: shared\n"
+      "or throttled vCPUs cap even embarrassingly parallel code below 2x.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Regenerates Figure 1 (paper §4.2.2): expected fraction of fingerprints
+// forwarded to the spare, as a function of the bin capacity k, for bin-table
+// maximal load factors alpha in {100%, 95%, 90%, 85%}, at n = 2^30.
+//
+// The curves are computed from the exact binomial expectation of §6.1
+// (Theorem 5), not the 1/sqrt(2*pi*k) approximation.  A Monte-Carlo
+// validation column at a small n cross-checks the analysis.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/analysis/binomial.h"
+#include "src/util/random.h"
+
+namespace {
+
+using prefixfilter::analysis::ExpectedSpareFraction;
+using prefixfilter::analysis::SpareFractionApproximation;
+
+double SimulateFraction(uint64_t n, uint64_t m, uint32_t k, uint64_t seed) {
+  prefixfilter::Xoshiro256 rng(seed);
+  std::vector<uint32_t> bins(m, 0);
+  uint64_t overflow = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t& b = bins[rng.Below(m)];
+    if (b >= k) {
+      ++overflow;
+    } else {
+      ++b;
+    }
+  }
+  return static_cast<double>(overflow) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = uint64_t{1} << 30;
+  const double alphas[] = {1.00, 0.95, 0.90, 0.85};
+
+  std::printf("== Figure 1: expected fraction of forwarded fingerprints ==\n");
+  std::printf("n = 2^30; analytic values from Theorem 5 (exact binomial)\n\n");
+  std::printf("%4s | %10s | %10s | %10s | %10s | %12s\n", "k", "a=100%",
+              "a=95%", "a=90%", "a=85%", "1/sqrt(2pik)");
+  std::printf("-----+------------+------------+------------+------------+-------------\n");
+  for (uint32_t k = 20; k <= 120; k += 5) {
+    std::printf("%4u |", k);
+    for (double alpha : alphas) {
+      const uint64_t m =
+          static_cast<uint64_t>(std::ceil(static_cast<double>(n) / (alpha * k)));
+      std::printf(" %9.4f%% |", 100.0 * ExpectedSpareFraction(n, m, k));
+    }
+    std::printf("  %9.4f%%\n", 100.0 * SpareFractionApproximation(k));
+  }
+
+  std::printf(
+      "\nPaper check: at k=25, a=100%% the fraction is ~8%%; a=95%% reduces it\n"
+      "by ~1.36x (to ~6%%); curves decrease in k and in 1/alpha.\n");
+
+  // Monte-Carlo validation at a tractable n.
+  const uint64_t n_sim = uint64_t{1} << 22;
+  std::printf("\nMonte-Carlo validation (n = 2^22, single trial per cell):\n");
+  std::printf("%4s | %8s | %10s | %10s\n", "k", "alpha", "analytic",
+              "simulated");
+  std::printf("-----+----------+------------+-----------\n");
+  for (uint32_t k : {25u, 50u, 100u}) {
+    for (double alpha : {1.00, 0.90}) {
+      const uint64_t m = static_cast<uint64_t>(
+          std::ceil(static_cast<double>(n_sim) / (alpha * k)));
+      const double analytic = ExpectedSpareFraction(n_sim, m, k);
+      const double simulated = SimulateFraction(n_sim, m, k, 42 + k);
+      std::printf("%4u | %7.0f%% | %9.4f%% | %9.4f%%\n", k, alpha * 100,
+                  100 * analytic, 100 * simulated);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Regenerates Figure 3 (paper §7.3): insertion, uniform-lookup (negative),
+// and positive-lookup throughput as the filter load grows from 0 to 100% in
+// 5% rounds.
+//
+// Methodology follows the paper: each round times (a) 0.05n pre-generated
+// insertions, (b) 0.05n uniformly random lookups (negative w.o.p.), and
+// (c) 0.05n lookups of keys sampled from previous rounds.  All query streams
+// are pre-generated outside the timed region.  Filters run as concrete
+// types — no virtual dispatch inside timing loops.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/filters/blocked_bloom.h"
+#include "src/filters/cuckoo.h"
+#include "src/filters/twochoicer.h"
+
+namespace {
+
+namespace bench = prefixfilter::bench;
+using prefixfilter::PrefixFilter;
+
+struct Series {
+  std::string name;
+  std::vector<double> insert_mops;
+  std::vector<double> uniform_mops;
+  std::vector<double> positive_mops;
+  uint64_t failed_inserts = 0;
+};
+
+template <typename Filter>
+Series RunSeries(const std::string& name, Filter filter,
+                 const bench::Workload& w, int rounds) {
+  Series s;
+  s.name = name;
+  const uint64_t per_round = w.insert_keys.size() / rounds;
+  for (int round = 0; round < rounds; ++round) {
+    const auto [ins_secs, failures] = bench::TimeInserts(
+        filter, w.insert_keys, round * per_round, (round + 1) * per_round);
+    s.failed_inserts += failures;
+    const auto [neg_secs, neg_found] =
+        bench::TimeQueries(filter, w.uniform_queries[round]);
+    const auto [pos_secs, pos_found] =
+        bench::TimeQueries(filter, w.positive_queries[round]);
+    bench::KeepAlive(neg_found + pos_found);
+    s.insert_mops.push_back(bench::OpsPerSec(per_round, ins_secs) / 1e6);
+    s.uniform_mops.push_back(bench::OpsPerSec(per_round, neg_secs) / 1e6);
+    s.positive_mops.push_back(bench::OpsPerSec(per_round, pos_secs) / 1e6);
+  }
+  return s;
+}
+
+void PrintPanel(const char* title, const std::vector<Series>& all, int rounds,
+                const std::vector<double> Series::*member) {
+  std::printf("\n--- %s (Mops/s per 5%%-load round) ---\n%-14s", title, "load:");
+  for (int r = 0; r < rounds; ++r) std::printf(" %5d%%", 5 * (r + 1));
+  std::printf("\n");
+  for (const auto& s : all) {
+    std::printf("%-14s", s.name.c_str());
+    for (double v : s.*member) std::printf(" %6.1f", v);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::ParseOptions(argc, argv);
+  std::printf("== Figure 3: throughput vs load ==\n");
+  std::printf("n = 0.94 * 2^%d = %llu, %d rounds\n", options.n_log2,
+              static_cast<unsigned long long>(options.n()), options.rounds);
+  const bench::Workload w = bench::Workload::Generate(options);
+  const uint64_t n = options.n();
+  const uint64_t seed = options.seed;
+
+  std::vector<Series> all;
+  all.push_back(RunSeries(
+      "BBF", prefixfilter::BlockedBloomFilter::MakeNonFlexible(n, seed), w,
+      options.rounds));
+  all.push_back(RunSeries(
+      "BBF-Flex", prefixfilter::BlockedBloomFilter::MakeFlexible(n, 10.67, seed),
+      w, options.rounds));
+  all.push_back(RunSeries("CF-8", prefixfilter::CuckooFilter8(n, false, seed),
+                          w, options.rounds));
+  all.push_back(RunSeries("CF-12", prefixfilter::CuckooFilter12(n, false, seed),
+                          w, options.rounds));
+  all.push_back(RunSeries("CF-12-Flex",
+                          prefixfilter::CuckooFilter12(n, true, seed), w,
+                          options.rounds));
+  all.push_back(RunSeries("TC", prefixfilter::TwoChoicer(n, seed), w,
+                          options.rounds));
+  prefixfilter::PrefixFilterOptions pf_options;
+  pf_options.seed = seed;
+  all.push_back(RunSeries(
+      "PF[BBF-Flex]",
+      PrefixFilter<prefixfilter::SpareBbfTraits>(n, pf_options), w,
+      options.rounds));
+  all.push_back(RunSeries(
+      "PF[CF12-Flex]",
+      PrefixFilter<prefixfilter::SpareCf12Traits>(n, pf_options), w,
+      options.rounds));
+  all.push_back(RunSeries(
+      "PF[TC]", PrefixFilter<prefixfilter::SpareTcTraits>(n, pf_options), w,
+      options.rounds));
+
+  PrintPanel("(a) Insertions", all, options.rounds, &Series::insert_mops);
+  PrintPanel("(b) Uniform lookups (negative)", all, options.rounds,
+             &Series::uniform_mops);
+  PrintPanel("(c) Yes lookups (positive)", all, options.rounds,
+             &Series::positive_mops);
+
+  for (const auto& s : all) {
+    if (s.failed_inserts > 0) {
+      std::printf("\nnote: %s failed %llu insertions\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.failed_inserts));
+    }
+  }
+  std::printf(
+      "\nPaper check: (a) CF insertions collapse at high load while PF stays\n"
+      "within ~2-3x of its peak and TC is flat-then-degrading past 50%%;\n"
+      "(b) PF negative lookups beat TC (~1.4x) and CF-12-Flex at all loads;\n"
+      "(c) CF-12 leads positive lookups at full load, PF beats TC; BBF is\n"
+      "~2x everything everywhere.\n");
+  return 0;
+}

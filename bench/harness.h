@@ -1,0 +1,148 @@
+// Shared benchmark harness reproducing the paper's methodology (§7.1, §7.3).
+//
+//  * Keys and query streams are pre-generated so measured times reflect only
+//    filter work.
+//  * Uniform queries over a 2^64 universe are negative with overwhelming
+//    probability; positive queries sample previously inserted keys.
+//  * The default dataset is n = 0.94 * 2^22 — the paper's 0.94 * 2^28 scaled
+//    to this machine (see DESIGN.md §2); pass --n-log2=28 to reproduce the
+//    paper's size on suitable hardware.  n = 0.94 * 2^L keeps the
+//    non-flexible implementations at their intended load factor (§7.1).
+#ifndef PREFIXFILTER_BENCH_HARNESS_H_
+#define PREFIXFILTER_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace prefixfilter::bench {
+
+// Defeats dead-code elimination of query results.
+inline void KeepAlive(uint64_t v) { asm volatile("" : : "r"(v) : "memory"); }
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct Options {
+  int n_log2 = 22;       // n = 0.94 * 2^n_log2
+  uint64_t seed = 0x5eedf00du;
+  int rounds = 20;       // load-sweep rounds (5% each, §7.3)
+  bool csv = false;      // machine-readable output
+
+  uint64_t n() const {
+    return static_cast<uint64_t>(0.94 * static_cast<double>(uint64_t{1} << n_log2));
+  }
+};
+
+// Parses --n-log2=<L>, --seed=<S>, --rounds=<R>, --csv.  Unknown flags abort
+// with a usage message (benches take no positional arguments).
+inline Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n-log2=", 0) == 0) {
+      options.n_log2 = std::atoi(arg.c_str() + 9);
+      if (options.n_log2 < 10 || options.n_log2 > 32) {
+        std::fprintf(stderr, "--n-log2 must be in [10, 32]\n");
+        std::exit(2);
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      options.rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--n-log2=L] [--seed=S] [--rounds=R] [--csv]\n"
+          "  dataset size is n = 0.94 * 2^L (default L=22; paper uses L=28)\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+// The §7.3 workload: pre-generated insertion keys, per-round uniform
+// (negative) query streams, and per-round positive query streams sampled
+// from the inserted prefix.
+struct Workload {
+  std::vector<uint64_t> insert_keys;                    // n keys
+  std::vector<std::vector<uint64_t>> uniform_queries;   // rounds x 0.05n
+  std::vector<std::vector<uint64_t>> positive_queries;  // rounds x 0.05n
+
+  static Workload Generate(const Options& options) {
+    Workload w;
+    const uint64_t n = options.n();
+    const int rounds = options.rounds;
+    const uint64_t per_round = n / rounds;
+    w.insert_keys = RandomKeys(n, options.seed);
+    w.uniform_queries.reserve(rounds);
+    w.positive_queries.reserve(rounds);
+    for (int round = 0; round < rounds; ++round) {
+      w.uniform_queries.push_back(
+          RandomKeys(per_round, options.seed ^ (0x1111u + round)));
+      const uint64_t inserted = per_round * (round + 1);
+      w.positive_queries.push_back(SampleKeys(
+          w.insert_keys, inserted, per_round, options.seed ^ (0x2222u + round)));
+    }
+    return w;
+  }
+};
+
+// --- templated measurement loops (no virtual dispatch in timed regions) ----
+
+// Inserts keys [begin, end); returns {seconds, failed_inserts}.
+template <typename Filter>
+std::pair<double, uint64_t> TimeInserts(Filter& filter,
+                                        const std::vector<uint64_t>& keys,
+                                        size_t begin, size_t end) {
+  uint64_t failures = 0;
+  Timer timer;
+  for (size_t i = begin; i < end; ++i) {
+    failures += !filter.Insert(keys[i]);
+  }
+  const double secs = timer.Seconds();
+  return {secs, failures};
+}
+
+// Queries every key; returns {seconds, positive_count}.
+template <typename Filter>
+std::pair<double, uint64_t> TimeQueries(const Filter& filter,
+                                        const std::vector<uint64_t>& keys) {
+  uint64_t found = 0;
+  Timer timer;
+  for (uint64_t k : keys) {
+    found += filter.Contains(k);
+  }
+  const double secs = timer.Seconds();
+  KeepAlive(found);
+  return {secs, found};
+}
+
+inline double OpsPerSec(size_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+}  // namespace prefixfilter::bench
+
+#endif  // PREFIXFILTER_BENCH_HARNESS_H_

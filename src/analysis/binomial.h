@@ -1,0 +1,62 @@
+// Exact binomial computations backing the paper's analysis (§6).
+//
+// The paper's guarantees are stated through a balls-into-bins experiment:
+// n fingerprints thrown into m bins of capacity k.  Everything the prefix
+// filter needs at construction time — the expected number of fingerprints
+// forwarded to the spare (Theorem 5, Eq. 1), the probability a query reaches
+// the spare (Theorem 17), the Stirling bounds of Proposition 9 — reduces to
+// binomial pmf/cdf evaluations, which we compute exactly in log space rather
+// than through the 1/sqrt(2*pi*k) approximations the paper uses for
+// presentation.
+#ifndef PREFIXFILTER_SRC_ANALYSIS_BINOMIAL_H_
+#define PREFIXFILTER_SRC_ANALYSIS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace prefixfilter::analysis {
+
+// log(C(n, k)) via lgamma; exact to double precision.
+double LogBinomialCoefficient(double n, double k);
+
+// log Pr[Binomial(n, p) = k].
+double LogBinomialPmf(double n, double p, double k);
+
+// Pr[Binomial(n, p) = k].
+double BinomialPmf(double n, double p, double k);
+
+// Pr[Binomial(n, p) <= k], by direct summation (k is small in all uses).
+double BinomialCdf(double n, double p, double k);
+
+// E[max(B - k, 0)] for B ~ Binomial(n, p): the expected number of balls a
+// single bin of capacity k forwards to the spare (paper §6.1).  Computed by
+// direct tail summation with incremental pmf ratios, so it is accurate even
+// when the expectation is tiny (alpha < 1).
+double ExpectedOverflowPerBin(double n, double p, double k);
+
+// E[X]: expected total number of fingerprints forwarded to the spare when n
+// keys are inserted into m bins of capacity k (Theorem 5, Eq. 1 — but exact,
+// valid for any m, not just m = n/k).
+double ExpectedSpareSize(uint64_t n, uint64_t m, uint32_t k);
+
+// E[X]/n, the expected *fraction* of fingerprints forwarded (Figure 1).
+double ExpectedSpareFraction(uint64_t n, uint64_t m, uint32_t k);
+
+// The paper's closed-form approximation of E[X]/n at full bin-table load
+// (m = n/k): 1/sqrt(2*pi*k).  Kept for comparisons against the exact value.
+double SpareFractionApproximation(uint32_t k);
+
+// Pr[Binomial(n, 1/m) = k+1]: the exact probability that a negative query is
+// forwarded to the spare (Theorem 17).
+double NegativeQuerySpareProbability(uint64_t n, uint64_t m, uint32_t k);
+
+// The Stirling sandwich of Proposition 9: lower/upper bounds on
+// Pr[Binomial(n, p) = k] for p = k/n.
+struct StirlingBounds {
+  double lower;
+  double upper;
+};
+StirlingBounds StirlingPmfBounds(double n, double k);
+
+}  // namespace prefixfilter::analysis
+
+#endif  // PREFIXFILTER_SRC_ANALYSIS_BINOMIAL_H_

@@ -1,0 +1,43 @@
+#include "src/analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/binomial.h"
+
+namespace prefixfilter::analysis {
+
+double CantelliFailureBound(uint64_t n, uint32_t k, double delta) {
+  return 2.0 * M_PI * static_cast<double>(k) /
+         (delta * delta * 0.99 * static_cast<double>(n));
+}
+
+double HoeffdingFailureBound(uint64_t n, uint32_t k, double delta) {
+  const double m = static_cast<double>(n) / static_cast<double>(k);
+  const double p = 1.0 / m;
+  return std::exp(-delta * delta * m * 0.99 * (1.0 - p) /
+                  (M_PI * static_cast<double>(k)));
+}
+
+double FailureBound(uint64_t n, uint32_t k, double delta) {
+  const double b =
+      std::min(CantelliFailureBound(n, k, delta), HoeffdingFailureBound(n, k, delta));
+  return std::clamp(b, 0.0, 1.0);
+}
+
+uint64_t SpareCapacity(uint64_t n, uint64_t m, uint32_t k, double slack) {
+  const double expected = ExpectedSpareSize(n, m, k);
+  const uint64_t capacity = static_cast<uint64_t>(std::ceil(slack * expected));
+  // Never build a zero-capacity spare: tiny filters still forward a handful
+  // of fingerprints with non-negligible probability.
+  return std::max<uint64_t>(capacity, 64);
+}
+
+double PrefixFilterFprBound(uint64_t n, uint64_t m, uint32_t k, uint32_t s,
+                            double spare_fpr) {
+  const double collision = static_cast<double>(n) /
+                           (static_cast<double>(m) * static_cast<double>(s));
+  return collision + spare_fpr * SpareFractionApproximation(k);
+}
+
+}  // namespace prefixfilter::analysis

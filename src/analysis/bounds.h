@@ -1,0 +1,41 @@
+// Failure-probability bounds and spare sizing (paper §4.2.1, §6.1, §6.1.1).
+//
+// The spare's capacity must be fixed at construction time even though the
+// number of forwarded fingerprints X is a random variable.  The paper sets
+// n' = 1.1 * E[X] and bounds Pr[X > n'] two ways: a second-moment bound
+// (Cantelli), better for small n, and a Hoeffding bound over the negatively
+// associated bin loads, exponentially better for large n.  Figure 2 plots
+// both; this module computes them.
+#ifndef PREFIXFILTER_SRC_ANALYSIS_BOUNDS_H_
+#define PREFIXFILTER_SRC_ANALYSIS_BOUNDS_H_
+
+#include <cstdint>
+
+namespace prefixfilter::analysis {
+
+// Cantelli bound on Pr[X >= (1+delta) E[X]] as derived in Proposition 10:
+// 2*pi*k / (delta^2 * 0.99 * n).  Stated for m = n/k bins, k >= 20, n >= 5k.
+double CantelliFailureBound(uint64_t n, uint32_t k, double delta);
+
+// Hoeffding bound of Proposition 13:
+// exp(-delta^2 * m * 0.99 * (1-p) / (pi * k)), with p = 1/m, m = n/k.
+double HoeffdingFailureBound(uint64_t n, uint32_t k, double delta);
+
+// min of the two (Theorem 5, Eq. 2), clamped to [0, 1].
+double FailureBound(uint64_t n, uint32_t k, double delta);
+
+// The spare sizing rule of §4.2.1: n' = ceil(slack * E[X]) where E[X] is the
+// exact expectation for n keys in m bins of capacity k.  The paper's default
+// slack is 1.1 (Claim 16: failure probability <= 200*pi*k/(0.99*n)); §6.1.1
+// notes slack 1.015 suffices for failure < 2^-40 once n >= 2^28 * k.
+uint64_t SpareCapacity(uint64_t n, uint64_t m, uint32_t k,
+                       double slack = 1.1);
+
+// Upper bound on the prefix filter's false positive rate (Corollary 31):
+// n/(m*s) + epsilon_spare / sqrt(2*pi*k).
+double PrefixFilterFprBound(uint64_t n, uint64_t m, uint32_t k, uint32_t s,
+                            double spare_fpr);
+
+}  // namespace prefixfilter::analysis
+
+#endif  // PREFIXFILTER_SRC_ANALYSIS_BOUNDS_H_

@@ -1,0 +1,57 @@
+#include "src/analysis/space_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prefixfilter::analysis {
+
+double OptimalBitsPerKey(double eps) { return std::log2(1.0 / eps); }
+
+double BloomBitsPerKey(double eps) {
+  return 1.44 * OptimalBitsPerKey(eps);
+}
+
+double CuckooBitsPerKey(double eps, double alpha) {
+  return (OptimalBitsPerKey(eps) + 3.0) / alpha;
+}
+
+double VqfBitsPerKey(double eps, double alpha) {
+  return (OptimalBitsPerKey(eps) + 2.9) / alpha;
+}
+
+double PrefixFilterBitsPerKey(double eps, double alpha, uint32_t k) {
+  const double gamma = 1.0 / std::sqrt(2.0 * M_PI * static_cast<double>(k));
+  return (1.0 + gamma) / alpha * (OptimalBitsPerKey(eps) + 2.0) + gamma / alpha;
+}
+
+namespace {
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::vector<SpaceModelRow> Table1(double eps, uint32_t k) {
+  const double gamma = 1.0 / std::sqrt(2.0 * M_PI * static_cast<double>(k));
+  std::vector<SpaceModelRow> rows;
+  rows.push_back({"BF", Fmt("1.44*log2(1/eps) = %.2f", BloomBitsPerKey(eps)),
+                  BloomBitsPerKey(eps), 2.0, 0.0});
+  // The paper quotes BBF as "~10-40% above BF"; we report the midpoint of
+  // that range as the analytic value (the empirical value is in Table 3).
+  rows.push_back({"BBF", Fmt("~1.25x BF = %.2f", 1.25 * BloomBitsPerKey(eps)),
+                  1.25 * BloomBitsPerKey(eps), 1.0, 0.0});
+  rows.push_back({"CF",
+                  Fmt("(log2(1/eps)+3)/0.94 = %.2f", CuckooBitsPerKey(eps, 0.94)),
+                  CuckooBitsPerKey(eps, 0.94), 2.0, 0.94});
+  rows.push_back({"VQF",
+                  Fmt("(log2(1/eps)+2.9)/0.945 = %.2f", VqfBitsPerKey(eps, 0.945)),
+                  VqfBitsPerKey(eps, 0.945), 2.0, 0.945});
+  rows.push_back(
+      {"PF",
+       Fmt("(1+g)/a*(log2(1/eps)+2)+g/a = %.2f", PrefixFilterBitsPerKey(eps, 1.0, k)),
+       PrefixFilterBitsPerKey(eps, 1.0, k), 1.0 + 2.0 * gamma, 1.0});
+  return rows;
+}
+
+}  // namespace prefixfilter::analysis

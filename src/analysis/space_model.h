@@ -1,0 +1,44 @@
+// The analytic space/access model of Table 1 (paper §3, §4.3).
+//
+// Table 1 compares practical filters by three analytic quantities: bits per
+// key, average cache misses per negative query (CM/NQ), and the maximal load
+// factor of the underlying fingerprint hash table.  This module evaluates
+// those formulas, plus the information-theoretic minimum log2(1/eps) used by
+// Table 3's "Optimal bits/key" column.
+#ifndef PREFIXFILTER_SRC_ANALYSIS_SPACE_MODEL_H_
+#define PREFIXFILTER_SRC_ANALYSIS_SPACE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prefixfilter::analysis {
+
+// Information-theoretic minimum bits/key for false positive rate eps
+// (Carter et al. [13]): log2(1/eps).
+double OptimalBitsPerKey(double eps);
+
+struct SpaceModelRow {
+  std::string filter;       // e.g. "CF", "PF"
+  std::string bits_per_key; // formula rendered with numbers substituted
+  double bits_per_key_value;
+  double cache_misses_per_negative_query;
+  double max_load_factor;   // 0 if not a hash table of fingerprints ("-")
+};
+
+// Evaluates Table 1 at false positive rate `eps`, prefix-filter bin capacity
+// `k`, and hash-table load factor `alpha` (the paper uses alpha = 0.94 for
+// CF, 0.945 for VQF, 0.95 for PF's bin table).
+std::vector<SpaceModelRow> Table1(double eps, uint32_t k);
+
+// Individual formulas (all bits/key):
+double BloomBitsPerKey(double eps);                       // 1.44 log2(1/eps)
+double CuckooBitsPerKey(double eps, double alpha);        // (log2(1/eps)+3)/a
+double VqfBitsPerKey(double eps, double alpha);           // (log2(1/eps)+2.9)/a
+// Prefix filter (Theorem 2(4) with a cuckoo-filter spare of the same eps):
+// (1+gamma)/alpha * (log2(1/eps)+2) + gamma/alpha, gamma = 1/sqrt(2*pi*k).
+double PrefixFilterBitsPerKey(double eps, double alpha, uint32_t k);
+
+}  // namespace prefixfilter::analysis
+
+#endif  // PREFIXFILTER_SRC_ANALYSIS_SPACE_MODEL_H_

@@ -1,0 +1,81 @@
+#include "src/core/filter_factory.h"
+
+#include <utility>
+
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/filters/blocked_bloom.h"
+#include "src/filters/bloom.h"
+#include "src/filters/cuckoo.h"
+#include "src/filters/quotient.h"
+#include "src/filters/twochoicer.h"
+
+namespace prefixfilter {
+namespace {
+
+// Adapts any concrete filter to the AnyFilter interface.
+template <typename F>
+class FilterAdapter final : public AnyFilter {
+ public:
+  explicit FilterAdapter(F filter) : filter_(std::move(filter)) {}
+
+  bool Insert(uint64_t key) override { return filter_.Insert(key); }
+  bool Contains(uint64_t key) const override { return filter_.Contains(key); }
+  size_t SpaceBytes() const override { return filter_.SpaceBytes(); }
+  uint64_t Capacity() const override { return filter_.capacity(); }
+  std::string Name() const override { return filter_.Name(); }
+
+  F& filter() { return filter_; }
+
+ private:
+  F filter_;
+};
+
+template <typename F>
+std::unique_ptr<AnyFilter> Wrap(F filter) {
+  return std::make_unique<FilterAdapter<F>>(std::move(filter));
+}
+
+}  // namespace
+
+std::unique_ptr<AnyFilter> MakeFilter(const std::string& name,
+                                      uint64_t capacity, uint64_t seed) {
+  PrefixFilterOptions pf_options;
+  pf_options.seed = seed;
+  if (name == "BF-8") return Wrap(BloomFilter(capacity, 8.0, 6, seed));
+  if (name == "BF-12") return Wrap(BloomFilter(capacity, 12.0, 8, seed));
+  if (name == "BF-16") return Wrap(BloomFilter(capacity, 16.0, 11, seed));
+  if (name == "BBF") {
+    return Wrap(BlockedBloomFilter::MakeNonFlexible(capacity, seed));
+  }
+  if (name == "BBF-Flex") {
+    return Wrap(BlockedBloomFilter::MakeFlexible(capacity, 10.67, seed));
+  }
+  if (name == "CF-8") return Wrap(CuckooFilter8(capacity, false, seed));
+  if (name == "CF-8-Flex") return Wrap(CuckooFilter8(capacity, true, seed));
+  if (name == "CF-12") return Wrap(CuckooFilter12(capacity, false, seed));
+  if (name == "CF-12-Flex") return Wrap(CuckooFilter12(capacity, true, seed));
+  if (name == "CF-16") return Wrap(CuckooFilter16(capacity, false, seed));
+  if (name == "CF-16-Flex") return Wrap(CuckooFilter16(capacity, true, seed));
+  if (name == "TC") return Wrap(TwoChoicer(capacity, seed));
+  if (name == "QF") return Wrap(QuotientFilter(capacity, seed));
+  if (name == "PF[BBF-Flex]") {
+    return Wrap(PrefixFilter<SpareBbfTraits>(capacity, pf_options));
+  }
+  if (name == "PF[CF12-Flex]") {
+    return Wrap(PrefixFilter<SpareCf12Traits>(capacity, pf_options));
+  }
+  if (name == "PF[TC]") {
+    return Wrap(PrefixFilter<SpareTcTraits>(capacity, pf_options));
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownFilterNames() {
+  return {"CF-8",  "CF-8-Flex",  "CF-12",    "CF-12-Flex",    "CF-16",
+          "CF-16-Flex", "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]",
+          "BBF",   "BBF-Flex",   "BF-8",     "BF-12",         "BF-16",
+          "TC",    "QF"};
+}
+
+}  // namespace prefixfilter

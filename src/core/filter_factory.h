@@ -1,0 +1,44 @@
+// Type-erased filter interface and by-name factory.
+//
+// The benchmarks use concrete filter types (templates, no virtual dispatch
+// in timing loops); the examples and the LSM substrate want to switch filter
+// implementations at run time.  AnyFilter wraps every filter in this library
+// behind a uniform incremental-filter interface.
+#ifndef PREFIXFILTER_SRC_CORE_FILTER_FACTORY_H_
+#define PREFIXFILTER_SRC_CORE_FILTER_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prefixfilter {
+
+// The incremental-filter contract (paper §2): Insert may assume the key is
+// not already present; Contains never reports a false negative.
+class AnyFilter {
+ public:
+  virtual ~AnyFilter() = default;
+
+  // Returns false iff the filter failed to absorb the key.
+  virtual bool Insert(uint64_t key) = 0;
+  virtual bool Contains(uint64_t key) const = 0;
+  virtual size_t SpaceBytes() const = 0;
+  virtual uint64_t Capacity() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+// Constructs a filter by configuration name for up to `capacity` keys.
+// Known names: "BF-8", "BF-12", "BF-16", "BBF", "BBF-Flex", "CF-8",
+// "CF-8-Flex", "CF-12", "CF-12-Flex", "CF-16", "CF-16-Flex", "TC", "QF",
+// "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]".  Returns nullptr for unknown
+// names.
+std::unique_ptr<AnyFilter> MakeFilter(const std::string& name,
+                                      uint64_t capacity, uint64_t seed = 42);
+
+// All configuration names MakeFilter understands, in Table 3 order.
+std::vector<std::string> KnownFilterNames();
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_CORE_FILTER_FACTORY_H_

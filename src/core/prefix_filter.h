@@ -1,0 +1,275 @@
+// The prefix filter (paper §4): an incremental filter whose operations
+// typically touch a single cache line.
+//
+// Two-level structure:
+//   * Level 1, the *bin table*: m = ceil(n / (alpha * k)) pocket dictionaries
+//     PD(25, 8, 25), two per cache line.  A key's fingerprint
+//     FP(x) = (bin(x), fp(x)) maps it to one bin and to a mini-fingerprint
+//     fp(x) = (q, r) in [25] x [256] (s = 6400, so k/s = 1/256).
+//   * Level 2, the *spare*: any incremental filter over the fingerprint
+//     universe, holding the fingerprints that do not fit in the bin table.
+//
+// Insertion (Algorithm 1) maintains the Prefix Invariant: a full bin keeps a
+// maximal *prefix* of the sorted multiset of mini-fingerprints mapped to it,
+// by always forwarding the maximum of {resident fingerprints} U {new one} to
+// the spare.  Queries (Algorithm 2) therefore consult the spare only when
+// the bin has overflowed AND the probed fingerprint is larger than the bin's
+// maximum — which happens with probability <= 1/sqrt(2*pi*k) (Theorem 17).
+// This is what removes the second cache miss that cuckoo/two-choice filters
+// pay on every negative query.
+//
+// The spare's capacity is fixed at construction: n' = slack * E[X], where
+// E[X] (the expected number of forwarded fingerprints) is computed exactly
+// from the binomial analysis of §6.1, and slack defaults to the paper's 1.1.
+#ifndef PREFIXFILTER_SRC_CORE_PREFIX_FILTER_H_
+#define PREFIXFILTER_SRC_CORE_PREFIX_FILTER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/bounds.h"
+#include "src/core/prefix_filter_stats.h"
+#include "src/pd/pd256.h"
+#include "src/util/aligned.h"
+#include "src/util/hash.h"
+#include "src/util/serialize.h"
+
+namespace prefixfilter {
+
+struct PrefixFilterOptions {
+  // Maximal load factor of the bin table (the paper evaluates 0.95; 1.0
+  // reproduces the worst-case analysis setting m = n/k).
+  double bin_load_factor = 0.95;
+  // Spare capacity slack over E[X] (§4.2.1 suggests 1.1; §6.1.1 shows 1.015
+  // suffices for n >= 2^28 * k).
+  double spare_slack = 1.1;
+  // §4.4: query the spare before forwarding and skip duplicate fingerprints.
+  // Off by default, matching the paper's prototype.
+  bool avoid_spare_duplicates = false;
+  uint64_t seed = 0x9f1e61a5u;
+};
+
+// SpareTraits must provide:
+//   using FilterType = ...;                      // the spare filter
+//   static FilterType Create(uint64_t n_prime, uint64_t seed);
+//   static const char* Name();
+// where FilterType supports Insert(uint64_t) -> bool, Contains(uint64_t)
+// const -> bool, and SpaceBytes() const.  Create() applies the §7.1.1
+// failure-avoidance sizing for that spare type.
+template <typename SpareTraits>
+class PrefixFilter {
+ public:
+  using Spare = typename SpareTraits::FilterType;
+
+  static constexpr uint32_t kBinCapacity = PD256::kCapacity;   // k = 25
+  static constexpr uint32_t kNumLists = PD256::kNumLists;      // 25
+  static constexpr uint32_t kMiniFpRange = kNumLists * 256;    // s = 6400
+
+  explicit PrefixFilter(uint64_t capacity, PrefixFilterOptions options = {})
+      : capacity_(capacity),
+        options_(options),
+        num_bins_(NumBins(capacity, options.bin_load_factor)),
+        spare_capacity_(analysis::SpareCapacity(capacity, num_bins_,
+                                                kBinCapacity,
+                                                options.spare_slack)),
+        bins_(num_bins_),
+        spare_(SpareTraits::Create(spare_capacity_, options.seed ^ 0x51a7eull)),
+        hash_(options.seed) {}
+
+  // Inserts a key (assumed not already present, per the incremental-filter
+  // contract).  Returns false iff the filter failed, i.e. the spare could
+  // not absorb a forwarded fingerprint.
+  bool Insert(uint64_t key) {
+    const uint64_t h = hash_(key);
+    const uint64_t b = HashParts::Bin(h, num_bins_);
+    const int q = static_cast<int>(HashParts::Quotient(h, kNumLists));
+    const uint8_t r = HashParts::Remainder(h);
+    ++stats_.inserts;
+
+    PD256& bin = bins_[b];
+    if (bin.Insert(q, r)) return true;  // bin not full: common case
+
+    // Bin full: forward max{FP(x), max of bin} to the spare (Algorithm 1).
+    if (!bin.Overflowed()) bin.MarkOverflowed();
+    const uint16_t fp_new = MiniFp(q, r);
+    const uint16_t fp_max = bin.MaxFingerprint();
+    const uint16_t forwarded = fp_new > fp_max ? fp_new : fp_max;
+    ++stats_.spare_inserts;
+    if (fp_new <= fp_max) {
+      ++stats_.evictions;
+      bin.ReplaceMax(q, r);
+    }
+    const uint64_t spare_key = SpareKey(b, forwarded);
+    if (options_.avoid_spare_duplicates && spare_.Contains(spare_key)) {
+      return true;
+    }
+    return spare_.Insert(spare_key);
+  }
+
+  // Approximate membership: no false negatives; false positives with
+  // probability bounded by FprBound().  Implements Algorithm 2: the Prefix
+  // Invariant says the fingerprint can only be in the spare if the bin
+  // overflowed and fp(x) exceeds the bin maximum.
+  bool Contains(uint64_t key) const {
+    const uint64_t h = hash_(key);
+    return ContainsHashed(h, HashParts::Bin(h, num_bins_));
+  }
+
+  // Batched membership with software prefetching.  Since almost every query
+  // resolves within one cache line (Theorem 2(3)), issuing the bin loads for
+  // a whole chunk before resolving any of them overlaps the misses that a
+  // one-at-a-time loop would serialize.  Results are written to out[0..n).
+  void ContainsBatch(const uint64_t* keys, size_t count, bool* out) const {
+    constexpr size_t kChunk = 16;
+    uint64_t hashes[kChunk];
+    uint64_t bins[kChunk];
+    for (size_t base = 0; base < count; base += kChunk) {
+      const size_t chunk = std::min(kChunk, count - base);
+      for (size_t i = 0; i < chunk; ++i) {
+        hashes[i] = hash_(keys[base + i]);
+        bins[i] = HashParts::Bin(hashes[i], num_bins_);
+        __builtin_prefetch(&bins_[bins[i]], 0, 1);
+      }
+      for (size_t i = 0; i < chunk; ++i) {
+        out[base + i] = ContainsHashed(hashes[i], bins[i]);
+      }
+    }
+  }
+
+  uint64_t size() const { return stats_.inserts; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t num_bins() const { return num_bins_; }
+  uint64_t spare_capacity() const { return spare_capacity_; }
+
+  size_t SpaceBytes() const { return bins_.SizeBytes() + spare_.SpaceBytes(); }
+  double BitsPerKey() const {
+    return 8.0 * static_cast<double>(SpaceBytes()) /
+           static_cast<double>(capacity_);
+  }
+
+  // Corollary 31: analytic upper bound on the false positive rate, using the
+  // spare's own analytic/empirical rate `spare_fpr` (<= 1 always valid).
+  double FprBound(double spare_fpr = 1.0) const {
+    return analysis::PrefixFilterFprBound(capacity_, num_bins_, kBinCapacity,
+                                          kMiniFpRange, spare_fpr);
+  }
+
+  const PrefixFilterStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PrefixFilterStats(); }
+  // Zeroes only the query counters (keeps insertion accounting; useful for
+  // measuring spare-query fractions at a given load).
+  void ResetQueryStats() {
+    stats_.queries = 0;
+    stats_.spare_queries = 0;
+  }
+  const Spare& spare() const { return spare_; }
+
+  std::string Name() const {
+    return std::string("PF[") + SpareTraits::Name() + "]";
+  }
+
+  // Test hook: direct read access to a bin.
+  const PD256& bin(uint64_t index) const { return bins_[index]; }
+
+  // --- persistence (the LSM lifecycle: build once, persist next to the run,
+  // load on restart) ---------------------------------------------------------
+
+  static constexpr uint32_t kMagic = 0x50465046;  // "PFPF"
+
+  void SerializeTo(std::vector<uint8_t>* out) const {
+    ByteWriter w(out);
+    w.U32(kMagic);
+    w.U8(1);
+    w.U64(capacity_);
+    w.F64(options_.bin_load_factor);
+    w.F64(options_.spare_slack);
+    w.U8(options_.avoid_spare_duplicates ? 1 : 0);
+    w.U64(options_.seed);
+    w.U64(stats_.inserts);
+    w.U64(stats_.spare_inserts);
+    w.U64(stats_.evictions);
+    w.Raw(bins_.data(), bins_.SizeBytes());
+    spare_.SerializeTo(out);
+  }
+
+  static std::optional<PrefixFilter> Deserialize(const uint8_t* data,
+                                                 size_t len) {
+    ByteReader r(data, len);
+    if (r.U32() != kMagic || r.U8() != 1) return std::nullopt;
+    PrefixFilterOptions options;
+    const uint64_t capacity = r.U64();
+    options.bin_load_factor = r.F64();
+    options.spare_slack = r.F64();
+    options.avoid_spare_duplicates = r.U8() != 0;
+    options.seed = r.U64();
+    PrefixFilterStats stats;
+    stats.inserts = r.U64();
+    stats.spare_inserts = r.U64();
+    stats.evictions = r.U64();
+    if (!r.ok() || capacity == 0 || options.bin_load_factor <= 0 ||
+        options.bin_load_factor > 1.0 || options.spare_slack < 1.0) {
+      return std::nullopt;
+    }
+    // Geometry check before allocating: the bin table alone must fit in the
+    // remaining payload (corrupted capacity fields would otherwise trigger
+    // enormous allocations).
+    const uint64_t num_bins = NumBins(capacity, options.bin_load_factor);
+    if (num_bins > r.remaining() / sizeof(PD256) + 1 ||
+        RoundUpToCacheLine(num_bins * sizeof(PD256)) > r.remaining()) {
+      return std::nullopt;
+    }
+    PrefixFilter f(capacity, options);
+    if (!r.Raw(f.bins_.data(), f.bins_.SizeBytes())) return std::nullopt;
+    auto spare = Spare::Deserialize(data + (len - r.remaining()), r.remaining());
+    if (!spare.has_value()) return std::nullopt;
+    f.spare_ = std::move(*spare);
+    f.stats_ = stats;
+    return f;
+  }
+
+ private:
+  bool ContainsHashed(uint64_t h, uint64_t b) const {
+    const int q = static_cast<int>(HashParts::Quotient(h, kNumLists));
+    const uint8_t r = HashParts::Remainder(h);
+    ++stats_.queries;
+    const PD256& bin = bins_[b];
+    if (bin.Overflowed() && MiniFp(q, r) > bin.MaxFingerprint()) {
+      ++stats_.spare_queries;
+      return spare_.Contains(SpareKey(b, MiniFp(q, r)));
+    }
+    return bin.Find(q, r);
+  }
+
+  static uint64_t NumBins(uint64_t capacity, double load_factor) {
+    const double bins = std::ceil(
+        static_cast<double>(capacity) / (load_factor * kBinCapacity));
+    return std::max<uint64_t>(2, static_cast<uint64_t>(bins));
+  }
+
+  static uint16_t MiniFp(int q, uint8_t r) {
+    return static_cast<uint16_t>((q << 8) | r);
+  }
+
+  // The spare approximates the multiset of full fingerprints; encode
+  // (bin, mini-fp) injectively into the 64-bit universe the spare hashes.
+  uint64_t SpareKey(uint64_t b, uint16_t fp) const {
+    return b * kMiniFpRange + fp;
+  }
+
+  uint64_t capacity_;
+  PrefixFilterOptions options_;
+  uint64_t num_bins_;
+  uint64_t spare_capacity_;
+  AlignedBuffer<PD256> bins_;
+  Spare spare_;
+  Dietzfelbinger64 hash_;
+  mutable PrefixFilterStats stats_;
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_CORE_PREFIX_FILTER_H_

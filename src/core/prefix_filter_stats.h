@@ -1,0 +1,36 @@
+// Operation counters for validating the paper's access-cost claims.
+//
+// Theorem 2(3): if the filter does not fail, a query touches a single cache
+// line with probability >= 1 - 1/sqrt(2*pi*k), and at most a 1.1/sqrt(2*pi*k)
+// fraction of insertions access the spare.  The prefix filter counts spare
+// traffic (cheap increments on the rare path only) so benches and tests can
+// verify those bounds empirically.
+#ifndef PREFIXFILTER_SRC_CORE_PREFIX_FILTER_STATS_H_
+#define PREFIXFILTER_SRC_CORE_PREFIX_FILTER_STATS_H_
+
+#include <cstdint>
+
+namespace prefixfilter {
+
+struct PrefixFilterStats {
+  uint64_t inserts = 0;          // total insertions
+  uint64_t spare_inserts = 0;    // insertions that forwarded a fingerprint
+  uint64_t evictions = 0;        // forwarded fingerprint was a resident max
+  uint64_t queries = 0;          // total queries
+  uint64_t spare_queries = 0;    // queries forwarded to the spare
+
+  double SpareInsertFraction() const {
+    return inserts == 0 ? 0.0
+                        : static_cast<double>(spare_inserts) /
+                              static_cast<double>(inserts);
+  }
+  double SpareQueryFraction() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(spare_queries) /
+                              static_cast<double>(queries);
+  }
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_CORE_PREFIX_FILTER_STATS_H_

@@ -1,0 +1,55 @@
+// Spare adapters (paper §4.2, §7.1.1).
+//
+// The spare can be any incremental filter over the fingerprint universe.
+// The paper evaluates three: a flexible blocked Bloom filter, a flexible
+// 12-bit cuckoo filter, and the TwoChoicer.  Each traits struct below
+// applies the corresponding §7.1.1 sizing rule to the analytically derived
+// spare dataset size n':
+//   * PF[BBF-Flex]: capacity 2n' (halves the spare's false positive rate —
+//     a BBF cannot fail, so no failure slack is needed);
+//   * PF[CF12-Flex]: capacity n'/0.94 (cuckoo failure-avoidance headroom);
+//   * PF[TC]:        capacity n'/0.935 (two-choice failure-avoidance).
+#ifndef PREFIXFILTER_SRC_CORE_SPARE_H_
+#define PREFIXFILTER_SRC_CORE_SPARE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/filters/blocked_bloom.h"
+#include "src/filters/cuckoo.h"
+#include "src/filters/twochoicer.h"
+
+namespace prefixfilter {
+
+struct SpareBbfTraits {
+  using FilterType = BlockedBloomFilter;
+  static FilterType Create(uint64_t n_prime, uint64_t seed) {
+    return BlockedBloomFilter::MakeFlexible(2 * n_prime, /*bits_per_key=*/10.67,
+                                            seed);
+  }
+  static const char* Name() { return "BBF-Flex"; }
+};
+
+struct SpareCf12Traits {
+  using FilterType = CuckooFilter12;
+  static FilterType Create(uint64_t n_prime, uint64_t seed) {
+    const uint64_t capacity =
+        static_cast<uint64_t>(std::ceil(static_cast<double>(n_prime) / 0.94));
+    return CuckooFilter12(capacity, /*flexible=*/true, seed);
+  }
+  static const char* Name() { return "CF12-Flex"; }
+};
+
+struct SpareTcTraits {
+  using FilterType = TwoChoicer;
+  static FilterType Create(uint64_t n_prime, uint64_t seed) {
+    const uint64_t capacity =
+        static_cast<uint64_t>(std::ceil(static_cast<double>(n_prime) / 0.935));
+    return TwoChoicer(capacity, seed);
+  }
+  static const char* Name() { return "TC"; }
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_CORE_SPARE_H_

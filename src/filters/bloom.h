@@ -1,0 +1,141 @@
+// Standard Bloom filter "BF-x[k]" (paper §7.1.1).
+//
+// The paper evaluates an optimized Bloom filter that derives its k probe
+// positions from two hash values via double hashing (g_i = h1 + i*h2), with
+// x bits per key.  BF-8 uses k=6, BF-12 uses k=8, BF-16 uses k=11 — the
+// optimal k = round(x * ln 2) for each size.
+#ifndef PREFIXFILTER_SRC_FILTERS_BLOOM_H_
+#define PREFIXFILTER_SRC_FILTERS_BLOOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/aligned.h"
+#include "src/util/hash.h"
+#include "src/util/serialize.h"
+
+namespace prefixfilter {
+
+class BloomFilter {
+ public:
+  // A filter for up to `capacity` keys using `bits_per_key` bits and
+  // `num_hashes` probes per key.  num_hashes == 0 selects the optimal
+  // round(bits_per_key * ln 2).
+  BloomFilter(uint64_t capacity, double bits_per_key, int num_hashes = 0,
+              uint64_t seed = 0x50f1u)
+      : capacity_(capacity),
+        num_hashes_(num_hashes > 0
+                        ? num_hashes
+                        : std::max(1, static_cast<int>(
+                                          std::lround(bits_per_key * M_LN2)))),
+        num_bits_(std::max<uint64_t>(
+            64, static_cast<uint64_t>(bits_per_key * capacity))),
+        words_((num_bits_ + 63) / 64),
+        hash_(seed),
+        seed_(seed) {}
+
+  // --- persistence (the LSM build-once/load-later lifecycle, §1) -----------
+
+  static constexpr uint32_t kMagic = 0x50464246;  // "PFBF"
+
+  void SerializeTo(std::vector<uint8_t>* out) const {
+    ByteWriter w(out);
+    w.U32(kMagic);
+    w.U8(1);
+    w.U64(capacity_);
+    w.U32(static_cast<uint32_t>(num_hashes_));
+    w.U64(num_bits_);
+    w.U64(seed_);
+    w.U64(size_);
+    w.Raw(words_.data(), words_.SizeBytes());
+  }
+
+  static std::optional<BloomFilter> Deserialize(const uint8_t* data,
+                                                size_t len) {
+    ByteReader r(data, len);
+    if (r.U32() != kMagic || r.U8() != 1) return std::nullopt;
+    const uint64_t capacity = r.U64();
+    const int num_hashes = static_cast<int>(r.U32());
+    const uint64_t num_bits = r.U64();
+    const uint64_t seed = r.U64();
+    const uint64_t size = r.U64();
+    if (!r.ok() || capacity == 0 || num_hashes <= 0 || num_bits == 0 ||
+        num_bits > (uint64_t{1} << 48)) {
+      return std::nullopt;
+    }
+    // Geometry check before allocating: the payload must hold the table.
+    if (RoundUpToCacheLine((num_bits + 63) / 64 * 8) != r.remaining()) {
+      return std::nullopt;
+    }
+    BloomFilter f(RawParts{}, capacity, num_hashes, num_bits, seed);
+    if (!r.Raw(f.words_.data(), f.words_.SizeBytes()) || r.remaining() != 0) {
+      return std::nullopt;
+    }
+    f.size_ = size;
+    return f;
+  }
+
+  bool Insert(uint64_t key) {
+    uint64_t h1 = hash_(key);
+    const uint64_t h2 = Mix64(h1) | 1;
+    for (int i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = FastRange64(h1, num_bits_);
+      words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+      h1 += h2;
+    }
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    uint64_t h1 = hash_(key);
+    const uint64_t h2 = Mix64(h1) | 1;
+    for (int i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = FastRange64(h1, num_bits_);
+      if ((words_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+      h1 += h2;
+    }
+    return true;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  size_t SpaceBytes() const { return words_.SizeBytes(); }
+  int num_hashes() const { return num_hashes_; }
+
+  std::string Name() const {
+    const int bpk = static_cast<int>(
+        std::lround(static_cast<double>(num_bits_) / capacity_));
+    return "BF-" + std::to_string(bpk) + "[k=" + std::to_string(num_hashes_) +
+           "]";
+  }
+
+ private:
+  // Field-exact constructor used by Deserialize (tag-disambiguated from the
+  // public bits-per-key constructor).
+  struct RawParts {};
+  BloomFilter(RawParts, uint64_t capacity, int num_hashes, uint64_t num_bits,
+              uint64_t seed)
+      : capacity_(capacity),
+        num_hashes_(num_hashes),
+        num_bits_(num_bits),
+        words_((num_bits + 63) / 64),
+        hash_(seed),
+        seed_(seed) {}
+
+  uint64_t capacity_;
+  int num_hashes_;
+  uint64_t num_bits_;
+  AlignedBuffer<uint64_t> words_;
+  Dietzfelbinger64 hash_;
+  uint64_t seed_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_FILTERS_BLOOM_H_

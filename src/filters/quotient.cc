@@ -1,0 +1,122 @@
+#include "src/filters/quotient.h"
+
+#include <cmath>
+
+#include "src/util/bits.h"
+
+namespace prefixfilter {
+
+QuotientFilter::QuotientFilter(uint64_t capacity, uint64_t seed)
+    : capacity_(capacity),
+      num_slots_(NextPow2(std::max<uint64_t>(
+          16, static_cast<uint64_t>(
+                  std::ceil(capacity / kMaxLoadFactor))))),
+      slot_mask_(num_slots_ - 1),
+      slots_(num_slots_),
+      hash_(seed) {}
+
+QuotientFilter::Fingerprint QuotientFilter::Split(uint64_t key) const {
+  const uint64_t h = hash_(key);
+  // High bits select the canonical slot; the next kRemainderBits are the
+  // stored remainder.
+  const int q_bits = HighestSetBit64(num_slots_);
+  const uint64_t quotient = h >> (64 - q_bits);
+  const uint16_t remainder = static_cast<uint16_t>(
+      (h >> (64 - q_bits - kRemainderBits)) & ((1u << kRemainderBits) - 1));
+  return {quotient, remainder};
+}
+
+uint64_t QuotientFilter::FindRunStart(uint64_t fq) const {
+  // Walk left to the start of the cluster (first unshifted slot), then walk
+  // right matching run starts with occupied canonical slots.
+  uint64_t b = fq;
+  while (slots_[b] & kShifted) b = Prev(b);
+  uint64_t s = b;
+  while (b != fq) {
+    do {
+      s = Next(s);
+    } while (slots_[s] & kContinuation);
+    do {
+      b = Next(b);
+    } while (!(slots_[b] & kOccupied));
+  }
+  return s;
+}
+
+bool QuotientFilter::Insert(uint64_t key) {
+  if (size_ >= static_cast<uint64_t>(num_slots_ * kMaxLoadFactor)) {
+    return false;  // beyond the supported load factor
+  }
+  const Fingerprint fp = Split(key);
+  const uint64_t fq = fp.quotient;
+
+  if (IsEmptySlot(fq) && !(slots_[fq] & kOccupied)) {
+    // Fast path: canonical slot is empty and no run exists for fq.
+    slots_[fq] = static_cast<uint16_t>(kOccupied |
+                                       (fp.remainder << kMetaBits));
+    ++size_;
+    return true;
+  }
+
+  const bool run_exists = (slots_[fq] & kOccupied) != 0;
+  slots_[fq] = slots_[fq] | kOccupied;
+
+  uint64_t s = FindRunStart(fq);
+  const uint64_t run_start = s;
+  if (run_exists) {
+    // Keep the run sorted: advance within the run while remainders are
+    // smaller.  Duplicate remainders are stored once (idempotent insert).
+    do {
+      const uint16_t rem = Remainder(s);
+      if (rem == fp.remainder) {
+        ++size_;
+        return true;
+      }
+      if (rem > fp.remainder) break;
+      s = Next(s);
+    } while (slots_[s] & kContinuation);
+  }
+
+  // Insert at position s, shifting the remainder chain right up to the next
+  // empty slot.  The is_occupied bit stays with the *slot*; continuation and
+  // shifted travel with the element.
+  uint16_t new_entry = static_cast<uint16_t>(fp.remainder << kMetaBits);
+  if (run_exists && s != run_start) new_entry |= kContinuation;
+  if (s != fq) new_entry |= kShifted;
+
+  uint64_t i = s;
+  uint16_t incoming = new_entry;
+  bool displaced_was_run_start = run_exists && s == run_start;
+  while (true) {
+    const bool slot_empty = IsEmptySlot(i);
+    const uint16_t old_entry = slots_[i];
+    slots_[i] = static_cast<uint16_t>((old_entry & kOccupied) |
+                                      (incoming & ~kOccupied));
+    if (slot_empty) break;
+    // The displaced element moves one slot right: it is now shifted, and if
+    // it headed its run it becomes a continuation of the inserted element.
+    incoming = static_cast<uint16_t>((old_entry & ~kOccupied) | kShifted);
+    if (displaced_was_run_start) {
+      incoming |= kContinuation;
+      displaced_was_run_start = false;
+    }
+    i = Next(i);
+  }
+  ++size_;
+  return true;
+}
+
+bool QuotientFilter::Contains(uint64_t key) const {
+  const Fingerprint fp = Split(key);
+  if (!(slots_[fp.quotient] & kOccupied)) return false;
+  uint64_t s = FindRunStart(fp.quotient);
+  do {
+    const uint16_t rem = Remainder(s);
+    if (rem == fp.remainder) return true;
+    if (rem > fp.remainder) return false;  // runs are sorted
+    s = Next(s);
+  } while (slots_[s] & kContinuation);
+  return false;
+}
+
+}  // namespace prefixfilter

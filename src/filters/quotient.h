@@ -1,0 +1,77 @@
+// Quotient filter baseline (paper §3, §7.1.1; Bender et al. [5]).
+//
+// The paper evaluates the quotient filter and omits it from the plots
+// because it is strictly dominated by the vector quotient filter; we include
+// it for completeness of the comparison surface.
+//
+// Design: a table of 2^q slots.  A key's fingerprint splits into a q-bit
+// canonical slot index (the quotient) and an r-bit remainder stored in the
+// table.  Collisions are resolved by keeping runs of equal-quotient
+// remainders sorted and contiguous, shifted right past their canonical slot
+// when necessary, with three metadata bits per slot reconstructing the
+// mapping (is_occupied / is_continuation / is_shifted).  Each slot packs the
+// 3 metadata bits and a 13-bit remainder into one uint16_t.
+#ifndef PREFIXFILTER_SRC_FILTERS_QUOTIENT_H_
+#define PREFIXFILTER_SRC_FILTERS_QUOTIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/aligned.h"
+#include "src/util/hash.h"
+
+namespace prefixfilter {
+
+class QuotientFilter {
+ public:
+  static constexpr int kRemainderBits = 13;
+  static constexpr double kMaxLoadFactor = 0.95;
+
+  // A filter for up to `capacity` keys; the slot count is the smallest power
+  // of two holding capacity / kMaxLoadFactor slots.
+  explicit QuotientFilter(uint64_t capacity, uint64_t seed = 0x9f17u);
+
+  bool Insert(uint64_t key);
+  bool Contains(uint64_t key) const;
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  size_t SpaceBytes() const { return slots_.SizeBytes(); }
+  std::string Name() const { return "QF"; }
+
+ private:
+  static constexpr uint16_t kOccupied = 1 << 0;
+  static constexpr uint16_t kContinuation = 1 << 1;
+  static constexpr uint16_t kShifted = 1 << 2;
+  static constexpr int kMetaBits = 3;
+
+  struct Fingerprint {
+    uint64_t quotient;
+    uint16_t remainder;
+  };
+  Fingerprint Split(uint64_t key) const;
+
+  bool IsEmptySlot(uint64_t i) const { return (slots_[i] & 0x7) == 0; }
+  uint16_t Remainder(uint64_t i) const { return slots_[i] >> kMetaBits; }
+  void SetRemainder(uint64_t i, uint16_t r) {
+    slots_[i] = static_cast<uint16_t>((slots_[i] & 0x7) |
+                                      (r << kMetaBits));
+  }
+  uint64_t Next(uint64_t i) const { return (i + 1) & slot_mask_; }
+  uint64_t Prev(uint64_t i) const { return (i - 1) & slot_mask_; }
+
+  // Index of the start of the run belonging to quotient `fq` (which must
+  // have its occupied bit set).
+  uint64_t FindRunStart(uint64_t fq) const;
+
+  uint64_t capacity_;
+  uint64_t num_slots_;
+  uint64_t slot_mask_;
+  AlignedBuffer<uint16_t> slots_;
+  Dietzfelbinger64 hash_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_FILTERS_QUOTIENT_H_

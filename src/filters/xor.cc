@@ -1,0 +1,104 @@
+#include "src/filters/xor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prefixfilter {
+
+namespace {
+// Peeling bookkeeping per table cell: xor of the hashes of incident keys
+// plus their count.  When count == 1, the xor IS the remaining key's hash.
+struct Cell {
+  uint64_t key_xor = 0;
+  uint32_t count = 0;
+};
+}  // namespace
+
+XorFilter8::XorFilter8(const std::vector<uint64_t>& keys, uint64_t seed)
+    : num_keys_(keys.size()),
+      segment_length_(std::max<uint64_t>(
+          64, static_cast<uint64_t>(std::ceil(1.23 * keys.size() / 3)) + 11)),
+      fingerprints_(3 * segment_length_),
+      hash_(seed),
+      build_seed_(seed) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (TryBuild(keys)) return;
+    build_seed_ = Mix64(build_seed_ + attempt + 1);
+    hash_ = Dietzfelbinger64(build_seed_);
+    std::fill(fingerprints_.data(),
+              fingerprints_.data() + fingerprints_.size(), uint8_t{0});
+  }
+  // With table size 1.23n the 2-core is empty w.h.p.; 64 straight failures
+  // indicate duplicate keys in the input, which peeling cannot resolve.
+  throw std::runtime_error(
+      "XorFilter8: construction failed; input likely contains duplicates");
+}
+
+XorFilter8::Positions XorFilter8::Hash(uint64_t key) const {
+  const uint64_t h = hash_(key);
+  Positions p;
+  p.h0 = FastRange64(h, segment_length_);
+  p.h1 = segment_length_ + FastRange64(Mix64(h ^ 0xb492b66fbe98f273ULL),
+                                       segment_length_);
+  p.h2 = 2 * segment_length_ +
+         FastRange64(Mix64(h ^ 0x9ae16a3b2f90404fULL), segment_length_);
+  p.fp = static_cast<uint8_t>(h ^ (h >> 32));
+  return p;
+}
+
+bool XorFilter8::TryBuild(const std::vector<uint64_t>& keys) {
+  const uint64_t table_size = 3 * segment_length_;
+  std::vector<Cell> cells(table_size);
+  for (uint64_t key : keys) {
+    const Positions p = Hash(key);
+    for (uint64_t idx : {p.h0, p.h1, p.h2}) {
+      cells[idx].key_xor ^= key;
+      ++cells[idx].count;
+    }
+  }
+
+  // Peel: repeatedly detach keys that are the sole occupant of some cell.
+  std::vector<uint64_t> queue;
+  queue.reserve(table_size);
+  for (uint64_t i = 0; i < table_size; ++i) {
+    if (cells[i].count == 1) queue.push_back(i);
+  }
+  // (key, assigned cell) in peel order.
+  std::vector<std::pair<uint64_t, uint64_t>> stack;
+  stack.reserve(keys.size());
+  while (!queue.empty()) {
+    const uint64_t i = queue.back();
+    queue.pop_back();
+    if (cells[i].count != 1) continue;  // became stale
+    const uint64_t key = cells[i].key_xor;
+    stack.emplace_back(key, i);
+    const Positions p = Hash(key);
+    for (uint64_t idx : {p.h0, p.h1, p.h2}) {
+      cells[idx].key_xor ^= key;
+      if (--cells[idx].count == 1) queue.push_back(idx);
+    }
+  }
+  if (stack.size() != keys.size()) return false;  // non-empty 2-core
+
+  // Assign fingerprints in reverse peel order: when (key, i) is processed,
+  // the other two cells already have their final values.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const auto [key, i] = *it;
+    const Positions p = Hash(key);
+    fingerprints_[i] = static_cast<uint8_t>(p.fp ^ fingerprints_[p.h0] ^
+                                            fingerprints_[p.h1] ^
+                                            fingerprints_[p.h2] ^
+                                            fingerprints_[i]);
+  }
+  return true;
+}
+
+bool XorFilter8::Contains(uint64_t key) const {
+  const Positions p = Hash(key);
+  return p.fp == static_cast<uint8_t>(fingerprints_[p.h0] ^
+                                      fingerprints_[p.h1] ^
+                                      fingerprints_[p.h2]);
+}
+
+}  // namespace prefixfilter

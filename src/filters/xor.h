@@ -1,0 +1,59 @@
+// Xor filter (Graf & Lemire [31]) — a *static* baseline.
+//
+// The paper's evaluation covers incremental filters; the xor filter is the
+// natural static comparison point from the same authors whose flexible
+// implementations ([30, 31]) the paper benchmarks.  It cannot be built
+// incrementally — construction needs the whole key set up front to run the
+// peeling algorithm — which is exactly the contrast that motivates
+// incremental filters for LSM runs that are written streaming.
+//
+// Design: three hash positions, one per third ("segment") of a table of
+// k-bit fingerprints sized ~1.23n.  A key is considered present iff
+// fp(x) == B[h0(x)] ^ B[h1(x)] ^ B[h2(x)].  Construction peels keys of
+// degree-1 cells onto a stack, then assigns fingerprints in reverse; it
+// succeeds with high probability and retries with a fresh seed otherwise.
+#ifndef PREFIXFILTER_SRC_FILTERS_XOR_H_
+#define PREFIXFILTER_SRC_FILTERS_XOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/aligned.h"
+#include "src/util/hash.h"
+
+namespace prefixfilter {
+
+class XorFilter8 {
+ public:
+  // Builds the filter from the (deduplicated) key set.  Construction is
+  // O(n) expected; retries internally on unlucky seeds.
+  explicit XorFilter8(const std::vector<uint64_t>& keys, uint64_t seed = 0x10fu);
+
+  bool Contains(uint64_t key) const;
+
+  uint64_t size() const { return num_keys_; }
+  uint64_t capacity() const { return num_keys_; }
+  size_t SpaceBytes() const { return fingerprints_.SizeBytes(); }
+  std::string Name() const { return "Xor8"; }
+
+ private:
+  struct Positions {
+    uint64_t h0, h1, h2;
+    uint8_t fp;
+  };
+  Positions Hash(uint64_t key) const;
+
+  // Attempts one peeling pass; returns false if a 2-core remains.
+  bool TryBuild(const std::vector<uint64_t>& keys);
+
+  uint64_t num_keys_;
+  uint64_t segment_length_;
+  AlignedBuffer<uint8_t> fingerprints_;
+  Dietzfelbinger64 hash_;
+  uint64_t build_seed_;
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_FILTERS_XOR_H_

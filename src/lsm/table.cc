@@ -1,0 +1,77 @@
+#include "src/lsm/table.h"
+
+#include <utility>
+
+namespace prefixfilter::lsm {
+
+void Table::Put(uint64_t key, uint64_t value) {
+  memtable_[key] = value;
+  if (memtable_.size() >= options_.memtable_entries) Flush();
+}
+
+void Table::Flush() {
+  if (memtable_.empty()) return;
+  std::vector<std::pair<uint64_t, uint64_t>> entries(memtable_.begin(),
+                                                     memtable_.end());
+  memtable_.clear();
+  runs_.push_back(std::make_unique<Run>(std::move(entries),
+                                        options_.filter_name,
+                                        options_.seed + run_counter_));
+  ++run_counter_;
+}
+
+void Table::Compact() {
+  Flush();
+  if (runs_.size() <= 1) return;
+  // Oldest-to-newest replay: later writes overwrite earlier ones.
+  std::map<uint64_t, uint64_t> merged;
+  for (const auto& run : runs_) {
+    const auto& keys = run->keys();
+    const auto& values = run->values();
+    for (size_t i = 0; i < keys.size(); ++i) merged[keys[i]] = values[i];
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> entries(merged.begin(),
+                                                     merged.end());
+  runs_.clear();
+  runs_.push_back(std::make_unique<Run>(std::move(entries),
+                                        options_.filter_name,
+                                        options_.seed + run_counter_));
+  ++run_counter_;
+}
+
+std::optional<uint64_t> Table::Get(uint64_t key) const {
+  if (const auto it = memtable_.find(key); it != memtable_.end()) {
+    return it->second;
+  }
+  // Newest run first: later writes shadow earlier ones.
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (auto v = (*it)->Get(key)) return v;
+  }
+  return std::nullopt;
+}
+
+size_t Table::FilterBytes() const {
+  size_t total = 0;
+  for (const auto& run : runs_) total += run->FilterBytes();
+  return total;
+}
+
+size_t Table::DataBytes() const {
+  size_t total = 0;
+  for (const auto& run : runs_) total += run->DataBytes();
+  return total;
+}
+
+uint64_t Table::DataAccesses() const {
+  uint64_t total = 0;
+  for (const auto& run : runs_) total += run->data_accesses();
+  return total;
+}
+
+uint64_t Table::FutileAccesses() const {
+  uint64_t total = 0;
+  for (const auto& run : runs_) total += run->futile_accesses();
+  return total;
+}
+
+}  // namespace prefixfilter::lsm

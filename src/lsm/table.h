@@ -1,0 +1,61 @@
+// A miniature LSM table: a memtable plus levels of immutable runs, each run
+// guarded by an incremental filter (paper §1's motivating application).
+//
+// Writes go to an in-memory buffer; when it fills, it is sealed into an
+// immutable Run (building the run's filter exactly once — the paper's
+// "build time" workload, §7.4).  Reads probe the memtable, then runs from
+// newest to oldest; each run's filter short-circuits runs that cannot
+// contain the key, so the filter quality directly controls how many counted
+// "I/Os" a point lookup costs.
+#ifndef PREFIXFILTER_SRC_LSM_TABLE_H_
+#define PREFIXFILTER_SRC_LSM_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lsm/run.h"
+
+namespace prefixfilter::lsm {
+
+struct TableOptions {
+  size_t memtable_entries = 64 * 1024;  // seal threshold
+  std::string filter_name = "PF[TC]";   // filter per run ("" = none)
+  uint64_t seed = 0x15a7ab1eu;
+};
+
+class Table {
+ public:
+  explicit Table(TableOptions options = {}) : options_(options) {}
+
+  void Put(uint64_t key, uint64_t value);
+  std::optional<uint64_t> Get(uint64_t key) const;
+
+  // Seals the current memtable into a run (no-op when empty).
+  void Flush();
+
+  // Merges all runs (and the memtable) into a single run, dropping shadowed
+  // versions and building one fresh filter — the LSM compaction that makes
+  // "filters are built once per immutable run" the common case (§1).
+  void Compact();
+
+  size_t NumRuns() const { return runs_.size(); }
+  size_t FilterBytes() const;
+  size_t DataBytes() const;
+  // Total counted data accesses across runs (the "I/O" the filters gate).
+  uint64_t DataAccesses() const;
+  uint64_t FutileAccesses() const;
+
+ private:
+  TableOptions options_;
+  std::map<uint64_t, uint64_t> memtable_;
+  std::vector<std::unique_ptr<Run>> runs_;  // newest last
+  uint64_t run_counter_ = 0;
+};
+
+}  // namespace prefixfilter::lsm
+
+#endif  // PREFIXFILTER_SRC_LSM_TABLE_H_

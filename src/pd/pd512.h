@@ -1,0 +1,119 @@
+// PD512: a 64-byte pocket dictionary PD(80, 8, 48) — the "mini-filter" bin
+// of the vector quotient filter, which the paper re-implements as
+// "TwoChoicer" on top of its own PD (§5, §7.1.1).
+//
+// Layout (64 bytes, one PD per cache line):
+//   bits   0..127  header (Q + k = 80 + 48 = 128 bits, no spare bits)
+//   bytes 16..63   body: up to 48 remainders of 8 bits, grouped by quotient
+//
+// The header uses the same complemented Elias-Fano encoding as PD256
+// (1-bits are elements, 0-bits terminate lists; all-zero memory is a valid
+// empty PD), spread across two 64-bit words.  TwoChoicer never evicts, so
+// PD512 has no max-element machinery.
+#ifndef PREFIXFILTER_SRC_PD_PD512_H_
+#define PREFIXFILTER_SRC_PD_PD512_H_
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/util/bits.h"
+#include "src/util/simd.h"
+
+namespace prefixfilter {
+
+class alignas(64) PD512 {
+ public:
+  static constexpr int kNumLists = 80;   // Q
+  static constexpr int kCapacity = 48;   // k
+  static constexpr int kHeaderBits = kNumLists + kCapacity;  // 128
+  static constexpr int kBodyOffset = 16;
+
+  int Size() const { return PopCount128(Header()); }
+  bool Full() const { return Size() == kCapacity; }
+
+  // Membership test for (q, r); q in [0, 80), r in [0, 256).
+  bool Find(int q, uint8_t r) const {
+    const uint64_t v = FindByteMask64(bytes_, r) >> kBodyOffset;
+    if (v == 0) return false;
+    const Bits128 header = Header();
+    if (AtMostOneBitSet64(v)) {
+      const int i = CountTrailingZeros64(v);
+      const int pos = q + i;  // <= 79 + 47 = 126 < 128
+      return GetBit128(header, pos) && Rank128(header, pos) == i;
+    }
+    const Bits128 terminators{~header.lo, ~header.hi};
+    const int begin = (q == 0) ? 0 : Select128(terminators, q - 1) + 1 - q;
+    const int end = Select128(terminators, q) - q;
+    return (v & MaskRange64(begin, end)) != 0;
+  }
+
+  // Inserts (q, r).  Returns false (and leaves the PD unchanged) if full.
+  bool Insert(int q, uint8_t r) {
+    Bits128 header = Header();
+    const int t = PopCount128(header);
+    if (t == kCapacity) return false;
+    const Bits128 terminators{~header.lo, ~header.hi};
+    const int z_q = Select128(terminators, q);
+    const int body_index = z_q - q;
+    const int insert_pos = (q == 0) ? 0 : Select128(terminators, q - 1) + 1;
+    header = InsertZeroBit128(header, insert_pos);
+    if (insert_pos < 64) {
+      header.lo |= uint64_t{1} << insert_pos;
+    } else {
+      header.hi |= uint64_t{1} << (insert_pos - 64);
+    }
+    SetHeader(header);
+    uint8_t* body = bytes_ + kBodyOffset;
+    std::memmove(body + body_index + 1, body + body_index,
+                 static_cast<size_t>(t - body_index));
+    body[body_index] = r;
+    return true;
+  }
+
+  int OccupancyOf(int q) const {
+    const Bits128 header = Header();
+    const Bits128 terminators{~header.lo, ~header.hi};
+    const int z_q = Select128(terminators, q);
+    const int begin_pos = (q == 0) ? 0 : Select128(terminators, q - 1) + 1;
+    return z_q - begin_pos;
+  }
+
+  std::vector<std::pair<int, uint8_t>> Decode() const {
+    std::vector<std::pair<int, uint8_t>> out;
+    const Bits128 header = Header();
+    int q = 0;
+    int body_index = 0;
+    for (int pos = 0; pos < kHeaderBits && q < kNumLists; ++pos) {
+      if (GetBit128(header, pos)) {
+        out.emplace_back(q, bytes_[kBodyOffset + body_index]);
+        ++body_index;
+      } else {
+        ++q;
+      }
+    }
+    return out;
+  }
+
+ private:
+  Bits128 Header() const {
+    Bits128 h;
+    std::memcpy(&h.lo, bytes_, 8);
+    std::memcpy(&h.hi, bytes_ + 8, 8);
+    return h;
+  }
+
+  void SetHeader(Bits128 h) {
+    std::memcpy(bytes_, &h.lo, 8);
+    std::memcpy(bytes_ + 8, &h.hi, 8);
+  }
+
+  uint8_t bytes_[64];
+};
+
+static_assert(sizeof(PD512) == 64, "PD512 must occupy exactly 64 bytes");
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_PD_PD512_H_

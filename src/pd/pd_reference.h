@@ -1,0 +1,83 @@
+// Portable reference pocket dictionary (paper §5.1) — the oracle for
+// differential tests.
+//
+// A pocket dictionary stores a multiset of at most `capacity` elements
+// (q, r) in [num_lists] x [256], conceptually as `num_lists` lists of
+// remainders.  This implementation favors obviousness over speed: it keeps
+// an explicit sorted vector of (q, r) pairs grouped by quotient.  The
+// optimized PD256/PD512 must agree with it on every operation.
+#ifndef PREFIXFILTER_SRC_PD_PD_REFERENCE_H_
+#define PREFIXFILTER_SRC_PD_PD_REFERENCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace prefixfilter {
+
+class ReferencePd {
+ public:
+  using Element = std::pair<int, uint8_t>;  // (quotient, remainder)
+
+  ReferencePd(int num_lists, int capacity)
+      : num_lists_(num_lists), capacity_(capacity) {}
+
+  int size() const { return static_cast<int>(elements_.size()); }
+  bool Full() const { return size() == capacity_; }
+
+  bool Find(int q, uint8_t r) const {
+    return std::find(elements_.begin(), elements_.end(), Element{q, r}) !=
+           elements_.end();
+  }
+
+  // Inserts (q, r); returns false (and does nothing) if full.
+  bool Insert(int q, uint8_t r) {
+    if (Full()) return false;
+    // Keep elements grouped by quotient (stable within a list).
+    auto it = std::upper_bound(
+        elements_.begin(), elements_.end(), q,
+        [](int lhs, const Element& e) { return lhs < e.first; });
+    elements_.insert(it, {q, r});
+    return true;
+  }
+
+  // The maximum element under (q, r) lexicographic order.  Requires
+  // non-empty.
+  Element Max() const {
+    return *std::max_element(elements_.begin(), elements_.end());
+  }
+
+  // Removes one occurrence of the maximum element.  Requires non-empty.
+  Element RemoveMax() {
+    auto it = std::max_element(elements_.begin(), elements_.end());
+    Element e = *it;
+    elements_.erase(it);
+    return e;
+  }
+
+  int OccupancyOf(int q) const {
+    return static_cast<int>(std::count_if(
+        elements_.begin(), elements_.end(),
+        [q](const Element& e) { return e.first == q; }));
+  }
+
+  // All elements sorted lexicographically (for invariant checks).
+  std::vector<Element> Sorted() const {
+    std::vector<Element> v = elements_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  int num_lists() const { return num_lists_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  int num_lists_;
+  int capacity_;
+  std::vector<Element> elements_;  // grouped by quotient
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_PD_PD_REFERENCE_H_

@@ -1,0 +1,74 @@
+// Cache-line-aligned storage for filter tables.
+//
+// The paper's single-cache-miss guarantee (§5.2.1 constraint 1) requires the
+// bin array to be laid out so no PD straddles a cache-line boundary: PD256s
+// are packed two per 64-byte line, PD512s one per line.  AlignedBuffer
+// provides zero-initialized, 64-byte-aligned arrays for that purpose.
+#ifndef PREFIXFILTER_SRC_UTIL_ALIGNED_H_
+#define PREFIXFILTER_SRC_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace prefixfilter {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// A fixed-size, 64-byte-aligned, zero-initialized array of trivially
+// constructible elements.  Move-only.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() : data_(nullptr), size_(0) {}
+
+  explicit AlignedBuffer(size_t size) : size_(size) {
+    const size_t bytes = RoundUp(size * sizeof(T), kCacheLineBytes);
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(static_cast<void*>(data_), 0, bytes);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t SizeBytes() const { return RoundUp(size_ * sizeof(T), kCacheLineBytes); }
+
+ private:
+  static size_t RoundUp(size_t v, size_t unit) {
+    return (v + unit - 1) / unit * unit;
+  }
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+  }
+
+  T* data_;
+  size_t size_;
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_UTIL_ALIGNED_H_

@@ -1,0 +1,30 @@
+#include "src/util/hash.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace prefixfilter {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // A compact 64-bit string hash in the murmur/xx family: mix 8-byte lanes
+  // with multiply-xorshift, finalize with Mix64.  Used by the examples to
+  // reduce variable-length keys (e.g. URLs) to the 64-bit universe every
+  // filter in this library consumes.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * 0x9e3779b97f4a7c15ULL);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = Mix64(h ^ (k * 0xff51afd7ed558ccdULL));
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, p, len);
+    h = Mix64(h ^ (k * 0xc4ceb9fe1a85ec53ULL));
+  }
+  return Mix64(h);
+}
+
+}  // namespace prefixfilter

@@ -1,0 +1,98 @@
+// Hashing substrate (paper §7.1: "All filters use the same hash function,
+// by Dietzfelbinger [21, Theorem 1]").
+//
+// Dietzfelbinger's multiply-shift scheme hashes a w-bit key x to
+// ((a*x + b) mod 2^{2w}) div 2^w for random 2w-bit a (odd) and b; for w = 64
+// this is one 64x64->128 multiply plus an add.  On top of it we provide
+// fastrange (Lemire's multiply-shift alternative to modulo reduction) and a
+// strong 64-bit finalizer for deriving independent streams from one hash.
+#ifndef PREFIXFILTER_SRC_UTIL_HASH_H_
+#define PREFIXFILTER_SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prefixfilter {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using uint128_t = unsigned __int128;
+#pragma GCC diagnostic pop
+
+// Maps a 64-bit value to [0, range) without modulo bias beyond 2^-64
+// (Lemire's fastrange).
+inline uint64_t FastRange64(uint64_t hash, uint64_t range) {
+  return static_cast<uint64_t>(
+      (static_cast<uint128_t>(hash) * static_cast<uint128_t>(range)) >> 64);
+}
+
+// Maps a 32-bit value to [0, range) for small ranges (used for the pocket
+// dictionary quotient, range <= 80).
+inline uint32_t FastRange32(uint32_t hash, uint32_t range) {
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(hash) * static_cast<uint64_t>(range)) >> 32);
+}
+
+// Fibonacci/murmur-style 64-bit finalizer; bijective, so it can be used to
+// derive a second near-independent stream from one hash value.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Dietzfelbinger multiply-shift: h_{a,b}(x) = ((a*x + b) mod 2^128) div 2^64.
+// `a` must be odd.  This is a 2-universal family from 64-bit keys to 64-bit
+// hashes, which is exactly what the paper's analysis (§6.3) requires.
+class Dietzfelbinger64 {
+ public:
+  Dietzfelbinger64() : Dietzfelbinger64(0x9e3779b97f4a7c15ULL) {}
+
+  // Derives the 128-bit parameters (a, b) from `seed` via a splitmix stream.
+  explicit Dietzfelbinger64(uint64_t seed) {
+    uint64_t s = seed;
+    auto next = [&s]() {
+      s += 0x9e3779b97f4a7c15ULL;
+      return Mix64(s);
+    };
+    a_ = (static_cast<uint128_t>(next()) << 64) | (next() | 1ULL);
+    b_ = (static_cast<uint128_t>(next()) << 64) | next();
+  }
+
+  uint64_t operator()(uint64_t x) const {
+    return static_cast<uint64_t>((a_ * x + b_) >> 64);
+  }
+
+ private:
+  uint128_t a_;
+  uint128_t b_;
+};
+
+// Hashes an arbitrary byte string to a uniform 64-bit value (for reducing
+// variable-length keys to the 64-bit universe the filters consume).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+// Splits one uniform 64-bit hash into the prefix filter's fingerprint parts.
+// See core/prefix_filter.h for how (bin, q, r) are consumed.
+struct HashParts {
+  // Bin index in [0, num_bins); uses (predominantly) the high hash bits.
+  static uint64_t Bin(uint64_t h, uint64_t num_bins) {
+    return FastRange64(h, num_bins);
+  }
+  // Quotient in [0, q_range); uses remixed low bits so it is (practically)
+  // independent of the bin index.
+  static uint32_t Quotient(uint64_t h, uint32_t q_range) {
+    return FastRange32(static_cast<uint32_t>(Mix64(h) >> 32), q_range);
+  }
+  // 8-bit remainder.
+  static uint8_t Remainder(uint64_t h) {
+    return static_cast<uint8_t>(Mix64(h));
+  }
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_UTIL_HASH_H_

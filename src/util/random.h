@@ -1,0 +1,94 @@
+// Pseudo-random number generation for tests and benchmark workloads.
+//
+// The evaluation (§7.3) pre-generates sequences of uniformly random 64-bit
+// keys, queries uniform keys (negative with overwhelming probability), and
+// samples random permutations of previously-inserted keys for positive
+// queries.  xoshiro256** is used for bulk key generation (fast, passes
+// BigCrush); splitmix64 seeds it and provides cheap one-off streams.
+#ifndef PREFIXFILTER_SRC_UTIL_RANDOM_H_
+#define PREFIXFILTER_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace prefixfilter {
+
+// splitmix64: the canonical seeding generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast general-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, range) via fastrange.
+  uint64_t Below(uint64_t range) { return FastRange64(Next(), range); }
+
+  // For use with <random>-style algorithms (e.g. std::shuffle).
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+// Generates `count` uniformly random 64-bit keys.  With a 2^64 universe and
+// practical set sizes, independently drawn keys are distinct (and queries
+// for fresh draws are negative) with overwhelming probability, which is how
+// the paper's harness obtains its insertion and negative-query streams.
+inline std::vector<uint64_t> RandomKeys(size_t count, uint64_t seed) {
+  std::vector<uint64_t> keys(count);
+  Xoshiro256 rng(seed);
+  for (auto& k : keys) k = rng.Next();
+  return keys;
+}
+
+// Samples `count` elements from keys[0, limit) uniformly with replacement.
+// Used for positive-query streams ("a randomly permuted sample of keys that
+// were inserted in some previous round", §7.3).
+inline std::vector<uint64_t> SampleKeys(const std::vector<uint64_t>& keys,
+                                        size_t limit, size_t count,
+                                        uint64_t seed) {
+  std::vector<uint64_t> out(count);
+  Xoshiro256 rng(seed);
+  for (auto& k : out) k = keys[rng.Below(limit)];
+  return out;
+}
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_UTIL_RANDOM_H_

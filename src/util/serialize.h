@@ -1,0 +1,89 @@
+// Minimal byte-stream serialization for persisting filters.
+//
+// LSM systems persist each run's filter next to the run and load it back on
+// restart (the build-once/query-forever lifecycle of §1); these helpers give
+// every filter in the library a compact, versioned, little-endian wire
+// format.  No attempt is made at cross-endianness portability beyond
+// little-endian (matching the x86 targets of the paper's SIMD kernels).
+#ifndef PREFIXFILTER_SRC_UTIL_SERIALIZE_H_
+#define PREFIXFILTER_SRC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace prefixfilter {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Raw(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + len);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// Reads fail-soft: after any short read, ok() is false and subsequent reads
+// return zeros; callers check ok() once at the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : p_(data), remaining_(len) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  bool Raw(void* out, size_t len) {
+    if (!ok_ || remaining_ < len) {
+      ok_ = false;
+      std::memset(out, 0, len);
+      return false;
+    }
+    std::memcpy(out, p_, len);
+    p_ += len;
+    remaining_ -= len;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return remaining_; }
+
+ private:
+  const uint8_t* p_;
+  size_t remaining_;
+  bool ok_ = true;
+};
+
+// Cache-line rounding used by AlignedBuffer::SizeBytes — Deserialize
+// implementations use it to verify a payload's advertised geometry against
+// the actual byte count BEFORE allocating (so corrupted size fields are
+// rejected instead of triggering huge allocations).
+inline size_t RoundUpToCacheLine(size_t v) { return (v + 63) / 64 * 64; }
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_UTIL_SERIALIZE_H_

@@ -1,0 +1,154 @@
+// SIMD substrate for the pocket-dictionary bodies (paper §5.2.2).
+//
+// The paper's key implementation idea is that a PD query can usually be
+// answered by a single broadcast-and-compare over the PD's body: build a
+// bitvector v_r with v_r[i] = 1 iff body[i] == r (VPBROADCAST + VPCMP in the
+// paper), then reason about v_r instead of running Select over the header.
+// This header provides those byte-match kernels for 32-byte and 64-byte
+// blocks with AVX-512BW, AVX2, and portable fallbacks, plus the 8-lane
+// blocked-Bloom mask kernel.
+#ifndef PREFIXFILTER_SRC_UTIL_SIMD_H_
+#define PREFIXFILTER_SRC_UTIL_SIMD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX512BW__) && defined(__AVX512VL__)
+#define PF_HAVE_AVX512 1
+#else
+#define PF_HAVE_AVX512 0
+#endif
+#if defined(__AVX2__)
+#define PF_HAVE_AVX2 1
+#else
+#define PF_HAVE_AVX2 0
+#endif
+
+#if PF_HAVE_AVX2 || PF_HAVE_AVX512
+#include <immintrin.h>
+#endif
+
+namespace prefixfilter {
+
+// Portable byte-match over `len` bytes; bit i of the result is set iff
+// block[i] == needle.  Used as the reference implementation in tests and as
+// the fallback on machines without AVX2.
+inline uint64_t FindByteMaskScalar(const void* block, uint8_t needle, int len) {
+  const uint8_t* p = static_cast<const uint8_t*>(block);
+  uint64_t mask = 0;
+  for (int i = 0; i < len; ++i) {
+    mask |= static_cast<uint64_t>(p[i] == needle) << i;
+  }
+  return mask;
+}
+
+// Byte-match over a 32-byte block (the PD256 of the prefix filter).
+// `block` must be 32-byte aligned.
+inline uint32_t FindByteMask32(const void* block, uint8_t needle) {
+#if PF_HAVE_AVX512
+  const __m256i v = _mm256_load_si256(static_cast<const __m256i*>(block));
+  return _mm256_cmpeq_epi8_mask(v, _mm256_set1_epi8(static_cast<char>(needle)));
+#elif PF_HAVE_AVX2
+  const __m256i v = _mm256_load_si256(static_cast<const __m256i*>(block));
+  const __m256i eq =
+      _mm256_cmpeq_epi8(v, _mm256_set1_epi8(static_cast<char>(needle)));
+  return static_cast<uint32_t>(_mm256_movemask_epi8(eq));
+#else
+  return static_cast<uint32_t>(FindByteMaskScalar(block, needle, 32));
+#endif
+}
+
+// Byte-match over a 64-byte block (the PD512 "mini-filter" of TwoChoicer).
+// `block` must be 64-byte aligned.
+inline uint64_t FindByteMask64(const void* block, uint8_t needle) {
+#if PF_HAVE_AVX512
+  const __m512i v = _mm512_load_si512(block);
+  return _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(static_cast<char>(needle)));
+#elif PF_HAVE_AVX2
+  const __m256i* p = static_cast<const __m256i*>(block);
+  const __m256i needle8 = _mm256_set1_epi8(static_cast<char>(needle));
+  const uint32_t lo = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(_mm256_load_si256(p), needle8)));
+  const uint32_t hi = static_cast<uint32_t>(_mm256_movemask_epi8(
+      _mm256_cmpeq_epi8(_mm256_load_si256(p + 1), needle8)));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+#else
+  return FindByteMaskScalar(block, needle, 64);
+#endif
+}
+
+// Which SIMD kernel is compiled in (reported by benches / ablations).
+inline const char* SimdKernelName() {
+#if PF_HAVE_AVX512
+  return "avx512bw";
+#elif PF_HAVE_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-Bloom kernel (paper §7.1.1, "BBF"/"BBF-Flex"): register-blocked
+// Bloom filter with 256-bit blocks viewed as 8 x 32-bit lanes, one bit set
+// per lane.  The per-lane bit index is derived from the key hash by
+// multiplying with 8 odd constants and keeping the top 5 bits (the classic
+// Impala kernel used by both implementations the paper evaluates).
+// ---------------------------------------------------------------------------
+
+namespace bbf_internal {
+// Odd multipliers from the Impala / cuckoofilter-repo blocked Bloom filter.
+inline constexpr uint32_t kSalts[8] = {
+    0x47b6137bU, 0x44974d91U, 0x8824ad5bU, 0xa2b7289dU,
+    0x705495c7U, 0x2df1424bU, 0x9efc4947U, 0x5c6bfb31U};
+}  // namespace bbf_internal
+
+// Computes the 8 lane masks for hash `h` into `out[0..8)`.
+inline void BlockedBloomMaskScalar(uint32_t h, uint32_t out[8]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = uint32_t{1} << ((h * bbf_internal::kSalts[i]) >> 27);
+  }
+}
+
+// Sets the key's 8 bits in the 32-byte block (one per lane).
+inline void BlockedBloomAdd(uint32_t h, uint32_t* block) {
+#if PF_HAVE_AVX2
+  const __m256i salts = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(bbf_internal::kSalts));
+  const __m256i hv = _mm256_set1_epi32(static_cast<int>(h));
+  const __m256i shifted = _mm256_srli_epi32(_mm256_mullo_epi32(hv, salts), 27);
+  const __m256i mask = _mm256_sllv_epi32(_mm256_set1_epi32(1), shifted);
+  __m256i* b = reinterpret_cast<__m256i*>(block);
+  _mm256_store_si256(b, _mm256_or_si256(_mm256_load_si256(b), mask));
+#else
+  uint32_t mask[8];
+  BlockedBloomMaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+#endif
+}
+
+// Tests whether all 8 of the key's bits are set in the block.
+inline bool BlockedBloomContains(uint32_t h, const uint32_t* block) {
+#if PF_HAVE_AVX2
+  const __m256i salts = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(bbf_internal::kSalts));
+  const __m256i hv = _mm256_set1_epi32(static_cast<int>(h));
+  const __m256i shifted = _mm256_srli_epi32(_mm256_mullo_epi32(hv, salts), 27);
+  const __m256i mask = _mm256_sllv_epi32(_mm256_set1_epi32(1), shifted);
+  const __m256i b =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(block));
+  // testc returns 1 iff (~b & mask) == 0, i.e. every mask bit is set in b.
+  return _mm256_testc_si256(b, mask) != 0;
+#else
+  uint32_t mask[8];
+  BlockedBloomMaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) {
+    if ((block[i] & mask[i]) != mask[i]) return false;
+  }
+  return true;
+#endif
+}
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_UTIL_SIMD_H_

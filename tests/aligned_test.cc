@@ -1,0 +1,54 @@
+#include "src/util/aligned.h"
+
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace prefixfilter {
+namespace {
+
+TEST(AlignedBuffer, CacheLineAligned) {
+  AlignedBuffer<uint8_t> buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer<uint64_t> buf(1000);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, SizeBytesRoundsToCacheLine) {
+  AlignedBuffer<uint8_t> buf(1);
+  EXPECT_EQ(buf.SizeBytes(), kCacheLineBytes);
+  AlignedBuffer<uint8_t> buf2(65);
+  EXPECT_EQ(buf2.SizeBytes(), 2 * kCacheLineBytes);
+}
+
+TEST(AlignedBuffer, ReadWrite) {
+  AlignedBuffer<uint32_t> buf(16);
+  for (uint32_t i = 0; i < 16; ++i) buf[i] = i * i;
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(buf[i], i * i);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<uint32_t> a(8);
+  a[3] = 42;
+  const uint32_t* ptr = a.data();
+  AlignedBuffer<uint32_t> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 42u);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, MoveAssign) {
+  AlignedBuffer<uint32_t> a(8);
+  a[0] = 7;
+  AlignedBuffer<uint32_t> b(4);
+  b = std::move(a);
+  EXPECT_EQ(b[0], 7u);
+  EXPECT_EQ(b.size(), 8u);
+}
+
+}  // namespace
+}  // namespace prefixfilter

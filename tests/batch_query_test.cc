@@ -1,0 +1,63 @@
+// Tests for the prefetching batch-query API.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(BatchQuery, AgreesWithScalarQueries) {
+  const uint64_t n = 200000;
+  const auto keys = RandomKeys(n, 201);
+  PrefixFilter<SpareTcTraits> pf(n);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+
+  // Mixed stream: positives and negatives interleaved.
+  std::vector<uint64_t> stream = RandomKeys(50000, 202);
+  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i % n];
+
+  std::vector<uint8_t> batch(stream.size());
+  pf.ContainsBatch(stream.data(), stream.size(),
+                   reinterpret_cast<bool*>(batch.data()));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(static_cast<bool>(batch[i]), pf.Contains(stream[i]))
+        << "index " << i;
+  }
+}
+
+TEST(BatchQuery, HandlesOddSizes) {
+  const uint64_t n = 10000;
+  const auto keys = RandomKeys(n, 203);
+  PrefixFilter<SpareCf12Traits> pf(n);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+  for (size_t count : {size_t{0}, size_t{1}, size_t{15}, size_t{16},
+                       size_t{17}, size_t{33}}) {
+    std::vector<uint64_t> stream(keys.begin(),
+                                 keys.begin() + static_cast<long>(count));
+    std::vector<uint8_t> out(count + 1, 0xcc);
+    pf.ContainsBatch(stream.data(), count,
+                     reinterpret_cast<bool*>(out.data()));
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(out[i]) << "count=" << count << " i=" << i;
+    }
+    EXPECT_EQ(out[count], 0xcc) << "wrote past the end";
+  }
+}
+
+TEST(BatchQuery, NoFalseNegativesAtFullLoad) {
+  const uint64_t n = 1 << 18;
+  const auto keys = RandomKeys(n, 204);
+  PrefixFilter<SpareBbfTraits> pf(n);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+  std::vector<uint8_t> out(keys.size());
+  pf.ContainsBatch(keys.data(), keys.size(),
+                   reinterpret_cast<bool*>(out.data()));
+  for (size_t i = 0; i < keys.size(); ++i) ASSERT_TRUE(out[i]);
+}
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,75 @@
+// Tests for the BE-filter ablation baseline (paper §4.4): identical
+// correctness contract to the prefix filter, but every query touches the
+// spare — quantifying what the Prefix Invariant buys.
+#include "src/core/be_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(BeFilter, NoFalseNegatives) {
+  const uint64_t n = 200000;
+  const auto keys = RandomKeys(n, 181);
+  BeFilter<SpareCf12Traits> be(n);
+  for (uint64_t k : keys) ASSERT_TRUE(be.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(be.Contains(k));
+}
+
+TEST(BeFilter, EveryMissedBinQueryHitsTheSpare) {
+  // The defining difference from the prefix filter: queries that miss in the
+  // bin always continue to the spare.
+  const uint64_t n = 100000;
+  const auto keys = RandomKeys(n, 182);
+  BeFilter<SpareCf12Traits> be(n);
+  for (uint64_t k : keys) ASSERT_TRUE(be.Insert(k));
+  const auto probes = RandomKeys(100000, 183);
+  for (uint64_t k : probes) be.Contains(k);
+  // Negative probes essentially never match a bin, so spare_queries should
+  // be ~= queries (vs ~6% for the prefix filter).
+  EXPECT_GT(be.stats().SpareQueryFraction(), 0.95);
+}
+
+TEST(BeFilter, SameSpareTrafficOnInsertAsPrefixFilter) {
+  // The eviction policy changes *which* fingerprints go to the spare, not
+  // how many: both designs forward exactly one fingerprint per insert into a
+  // full bin.
+  const uint64_t n = 1 << 19;
+  const auto keys = RandomKeys(n, 184);
+  BeFilter<SpareTcTraits> be(n, 0.95, 77);
+  PrefixFilterOptions options;
+  options.seed = 77;
+  PrefixFilter<SpareTcTraits> pf(n, options);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(be.Insert(k));
+    ASSERT_TRUE(pf.Insert(k));
+  }
+  EXPECT_EQ(be.stats().spare_inserts, pf.stats().spare_inserts);
+}
+
+TEST(BeFilter, FprComparableToPrefixFilter) {
+  const uint64_t n = 1 << 18;
+  const auto keys = RandomKeys(n, 185);
+  BeFilter<SpareCf12Traits> be(n);
+  for (uint64_t k : keys) ASSERT_TRUE(be.Insert(k));
+  const auto probes = RandomKeys(1 << 20, 186);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += be.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  EXPECT_GT(rate, 0.002);
+  EXPECT_LT(rate, 0.008);
+}
+
+TEST(BeFilter, SameSpaceAsPrefixFilter) {
+  const uint64_t n = 1 << 18;
+  BeFilter<SpareTcTraits> be(n);
+  PrefixFilter<SpareTcTraits> pf(n);
+  EXPECT_EQ(be.SpaceBytes(), pf.SpaceBytes());
+}
+
+}  // namespace
+}  // namespace prefixfilter

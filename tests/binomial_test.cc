@@ -1,0 +1,171 @@
+// Numerically verifies the binomial machinery of §6, including the
+// propositions the paper proves symbolically (7, 8, 9) and the headline
+// approximations (E[X] ~ n/sqrt(2*pi*k), Theorem 17's bound).
+#include "src/analysis/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter::analysis {
+namespace {
+
+TEST(Binomial, PmfSmallCasesExact) {
+  // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 1), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 4), 1.0 / 16, 1e-12);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  double total = 0;
+  for (int j = 0; j <= 30; ++j) total += BinomialPmf(30, 0.3, j);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Binomial, CdfMatchesPmfSum) {
+  const double n = 1000, p = 0.01;
+  double sum = 0;
+  for (int j = 0; j <= 25; ++j) {
+    sum += BinomialPmf(n, p, j);
+    EXPECT_NEAR(BinomialCdf(n, p, j), sum, 1e-10) << "j=" << j;
+  }
+}
+
+TEST(Binomial, CdfEdgeCases) {
+  EXPECT_EQ(BinomialCdf(10, 0.5, -1), 0.0);
+  EXPECT_EQ(BinomialCdf(10, 0.5, 10), 1.0);
+  EXPECT_NEAR(BinomialCdf(10, 0.0, 0), 1.0, 1e-12);
+}
+
+// Proposition 7: sum_{j<=k} j*Pr[B_n = j] == k * Pr[B_{n-1} <= k-1]
+// ... as specialized in the proof with p = k/n.  We check the identity the
+// proof actually derives: truncated expectation = n*p*Pr[B_{n-1} <= k-1].
+TEST(Binomial, Proposition7TruncatedExpectation) {
+  const double n = 5000;
+  for (int k : {10, 25, 60}) {
+    const double p = static_cast<double>(k) / n;
+    double lhs = 0;
+    for (int j = 0; j <= k; ++j) lhs += j * BinomialPmf(n, p, j);
+    const double rhs = n * p * BinomialCdf(n - 1, p, k - 1);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * rhs) << "k=" << k;
+  }
+}
+
+// Proposition 8 (with m = n/k, p = 1/m): E[max(B-k, 0)] = (1-p)*k*Pr[B = k].
+TEST(Binomial, Proposition8ClosedForm) {
+  const double n = 100000;
+  for (int k : {20, 25, 48}) {
+    const double p = static_cast<double>(k) / n;
+    const double direct = ExpectedOverflowPerBin(n, p, k);
+    const double closed = (1 - p) * k * BinomialPmf(n, p, k);
+    EXPECT_NEAR(direct, closed, 1e-6 * closed) << "k=" << k;
+  }
+}
+
+// Proposition 9: the Stirling sandwich actually contains the exact pmf.
+TEST(Binomial, Proposition9StirlingSandwich) {
+  for (double n : {1000.0, 100000.0, 1e7}) {
+    for (int k : {20, 25, 48, 100}) {
+      const double p = k / n;
+      const double exact = BinomialPmf(n, p, k);
+      const auto bounds = StirlingPmfBounds(n, k);
+      // Strictness up to numerical error: the sandwich width shrinks to
+      // ~1e-7 relative at large n/k, the same order as accumulated lgamma
+      // rounding in the "exact" pmf.
+      EXPECT_LT(bounds.lower, exact * (1 + 1e-6)) << "n=" << n << " k=" << k;
+      EXPECT_GT(bounds.upper, exact * (1 - 1e-6)) << "n=" << n << " k=" << k;
+      // The sandwich is tight: within 1% for these parameters.
+      EXPECT_NEAR(bounds.upper / bounds.lower, 1.0, 0.01);
+    }
+  }
+}
+
+// Theorem 5 / §4.2.2: at full bin-table load (m = n/k) the expected spare
+// fraction approaches 1/sqrt(2*pi*k); with k=25 that is ~7.98%, and the
+// paper quotes "about 8% of the dataset" for its prototype.
+TEST(Binomial, SpareFractionNearPaperApproximation) {
+  const uint64_t n = uint64_t{1} << 25;
+  const uint32_t k = 25;
+  const uint64_t m = n / k;
+  const double exact = ExpectedSpareFraction(n, m, k);
+  const double approx = SpareFractionApproximation(k);  // 0.0798
+  EXPECT_NEAR(approx, 0.0798, 0.0001);
+  EXPECT_LT(exact, approx);          // Eq. (1) is an upper bound
+  EXPECT_GT(exact, 0.9 * approx);    // ...and a tight one
+}
+
+// §4.2.2 / Figure 1: lowering the bin-table load factor reduces forwarding;
+// the paper highlights a 1.36x reduction from alpha=1.0 to alpha=0.95 at
+// k=25.
+TEST(Binomial, Alpha95ReducesForwardingByPaperFactor) {
+  const uint64_t n = uint64_t{1} << 26;
+  const uint32_t k = 25;
+  const double full = ExpectedSpareFraction(n, n / k, k);
+  const uint64_t m95 = static_cast<uint64_t>(std::ceil(n / (0.95 * k)));
+  const double alpha95 = ExpectedSpareFraction(n, m95, k);
+  EXPECT_LT(alpha95, full);
+  EXPECT_NEAR(full / alpha95, 1.36, 0.06);
+}
+
+// Figure 1 shape: forwarding fraction decreases in k and in 1/alpha.
+TEST(Binomial, ForwardingMonotoneInCapacityAndAlpha) {
+  const uint64_t n = uint64_t{1} << 24;
+  double prev = 1.0;
+  for (uint32_t k = 20; k <= 120; k += 20) {
+    const double f = ExpectedSpareFraction(n, n / k, k);
+    EXPECT_LT(f, prev) << "k=" << k;
+    prev = f;
+  }
+  const uint32_t k = 25;
+  double prev_alpha = 1.0;
+  for (double alpha : {1.0, 0.95, 0.90, 0.85}) {
+    const uint64_t m = static_cast<uint64_t>(std::ceil(n / (alpha * k)));
+    const double f = ExpectedSpareFraction(n, m, k);
+    EXPECT_LT(f, prev_alpha) << "alpha=" << alpha;
+    prev_alpha = f;
+  }
+}
+
+// Theorem 17: Pr[negative query hits spare] = Pr[B = k+1] <= 1/sqrt(2*pi*k).
+TEST(Binomial, NegativeQuerySpareProbabilityBounded) {
+  const uint64_t n = uint64_t{1} << 24;
+  for (uint32_t k : {20u, 25u, 48u}) {
+    const double prob = NegativeQuerySpareProbability(n, n / k, k);
+    EXPECT_GT(prob, 0.0);
+    EXPECT_LE(prob, SpareFractionApproximation(k)) << "k=" << k;
+  }
+}
+
+// Monte-Carlo validation of E[X]: simulate the balls-into-bins experiment
+// and compare with the analytic expectation.
+TEST(Binomial, MonteCarloSpareSizeMatchesExpectation) {
+  const uint64_t n = 200000;
+  const uint32_t k = 25;
+  const uint64_t m = static_cast<uint64_t>(std::ceil(n / (0.95 * k)));
+  Xoshiro256 rng(77);
+  double total = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<uint32_t> bins(m, 0);
+    uint64_t overflow = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t& b = bins[rng.Below(m)];
+      if (b >= k) {
+        ++overflow;
+      } else {
+        ++b;
+      }
+    }
+    total += static_cast<double>(overflow);
+  }
+  const double simulated = total / kTrials;
+  const double analytic = ExpectedSpareSize(n, m, k);
+  EXPECT_NEAR(simulated, analytic, 0.05 * analytic);
+}
+
+}  // namespace
+}  // namespace prefixfilter::analysis

@@ -1,0 +1,56 @@
+#include "src/filters/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(Bloom, NoFalseNegatives) {
+  const auto keys = RandomKeys(20000, 51);
+  BloomFilter bf(keys.size(), 12.0, 8);
+  for (uint64_t k : keys) ASSERT_TRUE(bf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(bf.Contains(k));
+}
+
+TEST(Bloom, OptimalHashCountChosen) {
+  // k* = bits_per_key * ln2: 8 -> 6, 12 -> 8, 16 -> 11.
+  EXPECT_EQ(BloomFilter(1000, 8.0).num_hashes(), 6);
+  EXPECT_EQ(BloomFilter(1000, 12.0).num_hashes(), 8);
+  EXPECT_EQ(BloomFilter(1000, 16.0).num_hashes(), 11);
+}
+
+TEST(Bloom, FprNearTheory) {
+  // BF-12[k=8] theory: (1 - e^{-8/12})^8 ~ 0.0031 plus double-hash slack.
+  const auto keys = RandomKeys(100000, 52);
+  BloomFilter bf(keys.size(), 12.0, 8);
+  for (uint64_t k : keys) bf.Insert(k);
+  const auto probes = RandomKeys(200000, 53);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += bf.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  EXPECT_GT(rate, 0.001);
+  EXPECT_LT(rate, 0.007);
+}
+
+TEST(Bloom, SpaceMatchesBudget) {
+  BloomFilter bf(1 << 20, 12.0, 8);
+  const double bits_per_key =
+      8.0 * bf.SpaceBytes() / static_cast<double>(bf.capacity());
+  EXPECT_NEAR(bits_per_key, 12.0, 0.01);
+}
+
+TEST(Bloom, EmptyFilterContainsNothing) {
+  BloomFilter bf(1000, 8.0);
+  const auto probes = RandomKeys(10000, 54);
+  for (uint64_t k : probes) EXPECT_FALSE(bf.Contains(k));
+}
+
+TEST(Bloom, Name) {
+  EXPECT_EQ(BloomFilter(1000, 8.0, 6).Name(), "BF-8[k=6]");
+  EXPECT_EQ(BloomFilter(1000, 12.0, 8).Name(), "BF-12[k=8]");
+}
+
+}  // namespace
+}  // namespace prefixfilter

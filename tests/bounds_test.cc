@@ -1,0 +1,133 @@
+// Verifies the failure-probability bounds of §6.1/§6.1.1 and the spare
+// sizing rule of §4.2.1.
+#include "src/analysis/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/binomial.h"
+#include "src/util/random.h"
+
+namespace prefixfilter::analysis {
+namespace {
+
+// Claim 16: with n' = 1.1 E[X] (delta = 0.1), the failure probability is at
+// most 200*pi*k/(0.99*n).
+TEST(Bounds, Claim16ClosedForm) {
+  const uint64_t n = uint64_t{1} << 25;
+  const uint32_t k = 25;
+  const double cantelli = CantelliFailureBound(n, k, 0.1);
+  const double claim16 = 200.0 * M_PI * k / (0.99 * static_cast<double>(n));
+  EXPECT_NEAR(cantelli, claim16, 1e-12 * claim16);
+}
+
+// Figure 2's qualitative content: Cantelli is better (smaller) for small n,
+// Hoeffding exponentially better for large n.
+TEST(Bounds, CantelliBetterSmallN_HoeffdingBetterLargeN) {
+  const uint32_t k = 25;
+  const double delta = 0.01;
+  const uint64_t small_n = (uint64_t{1} << 20) * k;   // m = 2^20
+  const uint64_t large_n = (uint64_t{1} << 31) * k;   // m = 2^31
+  EXPECT_LT(CantelliFailureBound(small_n, k, delta),
+            HoeffdingFailureBound(small_n, k, delta));
+  EXPECT_LT(HoeffdingFailureBound(large_n, k, delta),
+            CantelliFailureBound(large_n, k, delta));
+}
+
+// §6.1.1: for n >= 2^28 * k and delta = 1/80, Hoeffding gives < 2^-30.
+TEST(Bounds, LargeNFailureBelowTwoToMinus30) {
+  const uint32_t k = 25;
+  const uint64_t n = (uint64_t{1} << 28) * k;
+  const double bound = HoeffdingFailureBound(n, k, 1.0 / 80.0);
+  EXPECT_LT(bound, std::pow(2.0, -30));
+}
+
+TEST(Bounds, MonotoneInN) {
+  const uint32_t k = 25;
+  const double delta = 0.1;
+  double prev_c = 1e9, prev_h = 1e9;
+  for (int log_n = 20; log_n <= 32; log_n += 2) {
+    const uint64_t n = uint64_t{1} << log_n;
+    const double c = CantelliFailureBound(n, k, delta);
+    const double h = HoeffdingFailureBound(n, k, delta);
+    EXPECT_LT(c, prev_c);
+    // Hoeffding underflows to exactly 0 for huge n; monotone non-strictly.
+    EXPECT_LE(h, prev_h);
+    prev_c = c;
+    prev_h = h;
+  }
+}
+
+TEST(Bounds, MonotoneInDelta) {
+  const uint32_t k = 25;
+  const uint64_t n = uint64_t{1} << 26;
+  double prev = 2.0;
+  for (double delta : {0.001, 0.01, 0.025, 0.05, 0.1}) {
+    const double b = FailureBound(n, k, delta);
+    EXPECT_LE(b, prev) << "delta=" << delta;
+    prev = b;
+  }
+}
+
+TEST(Bounds, FailureBoundClamped) {
+  // Tiny n and delta make both bounds trivial (> 1); FailureBound clamps.
+  EXPECT_LE(FailureBound(1000, 25, 0.001), 1.0);
+  EXPECT_GE(FailureBound(1000, 25, 0.001), 0.0);
+}
+
+TEST(Bounds, SpareCapacityApproximatesSlackTimesExpectation) {
+  const uint64_t n = uint64_t{1} << 22;
+  const uint32_t k = 25;
+  const uint64_t m = n / k;
+  const double ex = ExpectedSpareSize(n, m, k);
+  const uint64_t cap = SpareCapacity(n, m, k, 1.1);
+  EXPECT_GE(cap, static_cast<uint64_t>(1.1 * ex));
+  EXPECT_LE(cap, static_cast<uint64_t>(1.1 * ex) + 1);
+}
+
+TEST(Bounds, SpareCapacityHasFloor) {
+  // Tiny filters still get a non-trivial spare.
+  EXPECT_GE(SpareCapacity(100, 5, 25, 1.1), 64u);
+}
+
+// Empirical check of the sizing rule: over repeated random experiments, the
+// realized spare size should (essentially always) stay below the capacity.
+TEST(Bounds, SizingRuleHoldsEmpirically) {
+  const uint64_t n = 1 << 20;
+  const uint32_t k = 25;
+  const uint64_t m = static_cast<uint64_t>(std::ceil(n / (0.95 * k)));
+  const uint64_t cap = SpareCapacity(n, m, k, 1.1);
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint32_t> bins(m, 0);
+    uint64_t overflow = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t& b = bins[rng.Below(m)];
+      if (b >= k) {
+        ++overflow;
+      } else {
+        ++b;
+      }
+    }
+    EXPECT_LE(overflow, cap) << "trial " << trial;
+  }
+}
+
+TEST(Bounds, PrefixFilterFprBoundCorollary31) {
+  // n/(m*s) + eps'/sqrt(2*pi*k), with the paper's parameters:
+  // m = n/(0.95*25), s = 6400 -> collision term = 0.95*25/6400 ~ 0.371%.
+  const uint64_t n = uint64_t{1} << 24;
+  const uint64_t m = static_cast<uint64_t>(std::ceil(n / (0.95 * 25)));
+  const double bound = PrefixFilterFprBound(n, m, 25, 6400, 0.0044);
+  const double collision = static_cast<double>(n) / (static_cast<double>(m) * 6400.0);
+  EXPECT_NEAR(collision, 0.00371, 0.0001);
+  EXPECT_NEAR(bound, collision + 0.0044 / std::sqrt(2 * M_PI * 25), 1e-9);
+  // The paper's "eps < 1/256 via alpha = 0.95" refers to the dominant
+  // collision term alpha*k/s; the spare adds a downweighted ~0.03%.
+  EXPECT_LT(collision, 1.0 / 256.0);
+  EXPECT_LT(bound, 0.0042);
+}
+
+}  // namespace
+}  // namespace prefixfilter::analysis

@@ -1,0 +1,90 @@
+// Tests for the per-bin-locked concurrent prefix filter (paper §4.4).
+#include "src/core/concurrent_prefix_filter.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/spare.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(ConcurrentPrefixFilter, SingleThreadedMatchesContract) {
+  const uint64_t n = 100000;
+  const auto keys = RandomKeys(n, 161);
+  ConcurrentPrefixFilter<SpareCf12Traits> pf(n);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Contains(k));
+}
+
+TEST(ConcurrentPrefixFilter, ParallelInsertNoLostKeys) {
+  const uint64_t n = 200000;
+  const int kThreads = 4;
+  const auto keys = RandomKeys(n, 162);
+  ConcurrentPrefixFilter<SpareCf12Traits> pf(n);
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (uint64_t i = t; i < n; i += kThreads) {
+        if (!pf.Insert(keys[i])) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Contains(k));
+}
+
+TEST(ConcurrentPrefixFilter, ConcurrentReadersDuringWrites) {
+  const uint64_t n = 100000;
+  const auto keys = RandomKeys(n, 163);
+  ConcurrentPrefixFilter<SpareTcTraits> pf(n);
+  // Pre-insert half; readers continuously verify that half while writers
+  // add the rest.
+  const uint64_t half = n / 2;
+  for (uint64_t i = 0; i < half; ++i) ASSERT_TRUE(pf.Insert(keys[i]));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::thread reader([&]() {
+    Xoshiro256 rng(164);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t k = keys[rng.Below(half)];
+      if (!pf.Contains(k)) read_errors.fetch_add(1);
+    }
+  });
+  std::thread writer([&]() {
+    for (uint64_t i = half; i < n; ++i) pf.Insert(keys[i]);
+  });
+  writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Contains(k));
+}
+
+TEST(ConcurrentPrefixFilter, FprComparableToSequential) {
+  const uint64_t n = 1 << 17;
+  const auto keys = RandomKeys(n, 165);
+  ConcurrentPrefixFilter<SpareCf12Traits> pf(n);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t]() {
+      for (uint64_t i = t; i < n; i += 2) pf.Insert(keys[i]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto probes = RandomKeys(1 << 19, 166);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += pf.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  EXPECT_LT(rate, 0.006);
+}
+
+}  // namespace
+}  // namespace prefixfilter

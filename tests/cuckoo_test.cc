@@ -1,0 +1,114 @@
+#include "src/filters/cuckoo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+template <typename CF>
+void FillAndCheckNoFalseNegatives(bool flexible, uint64_t seed) {
+  const auto keys = RandomKeys(100000, seed);
+  CF cf(keys.size(), flexible);
+  for (uint64_t k : keys) ASSERT_TRUE(cf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(cf.Contains(k));
+}
+
+TEST(Cuckoo, NoFalseNegatives8) {
+  FillAndCheckNoFalseNegatives<CuckooFilter8>(false, 71);
+  FillAndCheckNoFalseNegatives<CuckooFilter8>(true, 72);
+}
+TEST(Cuckoo, NoFalseNegatives12) {
+  FillAndCheckNoFalseNegatives<CuckooFilter12>(false, 73);
+  FillAndCheckNoFalseNegatives<CuckooFilter12>(true, 74);
+}
+TEST(Cuckoo, NoFalseNegatives16) {
+  FillAndCheckNoFalseNegatives<CuckooFilter16>(false, 75);
+  FillAndCheckNoFalseNegatives<CuckooFilter16>(true, 76);
+}
+
+TEST(Cuckoo, AltIndexIsSelfInverseFlexible) {
+  // The flexible alternate-bucket map must satisfy alt(alt(i)) == i for
+  // arbitrary (non power-of-two) bucket counts.  We test through the public
+  // API: a full filter only works if every kicked tag can return home.
+  const auto keys = RandomKeys(30000, 77);
+  CuckooFilter12 cf(keys.size(), /*flexible=*/true);
+  for (uint64_t k : keys) ASSERT_TRUE(cf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(cf.Contains(k));
+}
+
+TEST(Cuckoo, FprTracksTagWidth) {
+  const auto keys = RandomKeys(100000, 78);
+  CuckooFilter8 cf8(keys.size(), true);
+  CuckooFilter12 cf12(keys.size(), true);
+  CuckooFilter16 cf16(keys.size(), true);
+  for (uint64_t k : keys) {
+    cf8.Insert(k);
+    cf12.Insert(k);
+    cf16.Insert(k);
+  }
+  const auto probes = RandomKeys(300000, 79);
+  uint64_t fp8 = 0, fp12 = 0, fp16 = 0;
+  for (uint64_t k : probes) {
+    fp8 += cf8.Contains(k);
+    fp12 += cf12.Contains(k);
+    fp16 += cf16.Contains(k);
+  }
+  const double n = static_cast<double>(probes.size());
+  // Paper Table 3: CF-8 2.92%, CF-12 0.18%, CF-16 0.011%.
+  EXPECT_NEAR(fp8 / n, 0.029, 0.006);
+  EXPECT_NEAR(fp12 / n, 0.0018, 0.0008);
+  EXPECT_LT(fp16 / n, 0.0005);
+}
+
+TEST(Cuckoo, SpaceMatchesTable3) {
+  // CF-12 at n just below a power-of-two boundary: 12/0.94 ~ 12.77 bits/key.
+  const uint64_t n = static_cast<uint64_t>(0.94 * (1 << 22));
+  CuckooFilter12 cf(n, /*flexible=*/false);
+  const double bpk = 8.0 * cf.SpaceBytes() / static_cast<double>(n);
+  EXPECT_NEAR(bpk, 12.77, 0.05);
+  CuckooFilter12 cf_flex(n, /*flexible=*/true);
+  const double bpk_flex = 8.0 * cf_flex.SpaceBytes() / static_cast<double>(n);
+  EXPECT_NEAR(bpk_flex, 12.77, 0.05);
+}
+
+TEST(Cuckoo, NonFlexDoublesWhenJustPastPowerOfTwo) {
+  // The paper's §7.1 point: a non-flexible CF sized for n slightly above a
+  // power-of-two boundary must double its table.
+  CuckooFilter12 just_below(static_cast<uint64_t>(0.94 * (1 << 22)), false);
+  CuckooFilter12 just_above(static_cast<uint64_t>(1.02 * (1 << 22)), false);
+  const double ratio = static_cast<double>(just_above.SpaceBytes()) /
+                       static_cast<double>(just_below.SpaceBytes());
+  EXPECT_NEAR(ratio, 2.0, 0.001);  // modulo slack bytes / line rounding
+}
+
+TEST(Cuckoo, FailsOnlyWhenOverfilled) {
+  // Inserting far past capacity must eventually return false, not corrupt
+  // earlier keys.
+  const uint64_t n = 10000;
+  CuckooFilter12 cf(n, true);
+  const auto keys = RandomKeys(2 * n, 80);
+  size_t inserted = 0;
+  while (inserted < keys.size() && cf.Insert(keys[inserted])) ++inserted;
+  EXPECT_GE(inserted, n);            // reaches its rated capacity
+  EXPECT_LT(inserted, keys.size());  // ...but does fail eventually
+  for (size_t i = 0; i < inserted; ++i) {
+    ASSERT_TRUE(cf.Contains(keys[i])) << "lost key " << i << " of " << inserted;
+  }
+}
+
+TEST(Cuckoo, DuplicateFingerprintsOverflowGracefully) {
+  // 2b+1 copies of the same key break a cuckoo filter (paper §4.4): with
+  // b = 4 slots per bucket, the 9th insert of an identical key must fail
+  // (both buckets hold 4 copies each), not loop forever.
+  CuckooFilter12 cf(1000, true);
+  int ok = 0;
+  for (int i = 0; i < 9; ++i) ok += cf.Insert(42);
+  EXPECT_EQ(ok, 9);  // the 9th lands in the victim stash
+  EXPECT_FALSE(cf.Insert(42));  // the 10th has nowhere to go
+  EXPECT_TRUE(cf.Contains(42));
+}
+
+}  // namespace
+}  // namespace prefixfilter

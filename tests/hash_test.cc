@@ -1,0 +1,134 @@
+#include "src/util/hash.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(FastRange, StaysInRange) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const uint64_t range = 1 + rng.Below(1'000'000);
+    EXPECT_LT(FastRange64(rng.Next(), range), range);
+  }
+}
+
+TEST(FastRange, Extremes) {
+  EXPECT_EQ(FastRange64(0, 100), 0u);
+  EXPECT_EQ(FastRange64(~uint64_t{0}, 100), 99u);
+  EXPECT_EQ(FastRange32(0, 25), 0u);
+  EXPECT_EQ(FastRange32(~uint32_t{0}, 25), 24u);
+}
+
+TEST(FastRange, ApproximatelyUniform) {
+  constexpr uint64_t kRange = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kRange, 0);
+  Xoshiro256 rng(22);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[FastRange64(rng.Next(), kRange)];
+  }
+  const double expected = static_cast<double>(kSamples) / kRange;
+  for (uint64_t b = 0; b < kRange; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(Mix64, Bijective) {
+  // Injectivity on a sample (full bijectivity follows from construction).
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalancheRoughly) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  Xoshiro256 rng(23);
+  double total_flips = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t x = rng.Next();
+    const int bit = static_cast<int>(rng.Below(64));
+    total_flips += std::popcount(Mix64(x) ^ Mix64(x ^ (uint64_t{1} << bit)));
+  }
+  EXPECT_NEAR(total_flips / kTrials, 32.0, 1.0);
+}
+
+TEST(Dietzfelbinger, DeterministicPerSeed) {
+  Dietzfelbinger64 h1(7), h2(7), h3(8);
+  EXPECT_EQ(h1(12345), h2(12345));
+  EXPECT_NE(h1(12345), h3(12345));  // overwhelmingly likely
+}
+
+TEST(Dietzfelbinger, UniformBuckets) {
+  Dietzfelbinger64 h(99);
+  constexpr uint64_t kBuckets = 64;
+  constexpr int kSamples = 640000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[FastRange64(h(static_cast<uint64_t>(i)), kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 6 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(Dietzfelbinger, SequentialKeysSpread) {
+  // Multiply-shift must break up dense sequential keys (the pathological
+  // input for weaker hashes).
+  Dietzfelbinger64 h(5);
+  std::set<uint64_t> high_bits;
+  for (uint64_t x = 0; x < 4096; ++x) high_bits.insert(h(x) >> 52);
+  // With 4096 distinct inputs into 4096 high-bit buckets, expect good spread.
+  EXPECT_GT(high_bits.size(), 2000u);
+}
+
+TEST(HashParts, QuotientInRange) {
+  Xoshiro256 rng(24);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(HashParts::Quotient(rng.Next(), 25), 25u);
+    EXPECT_LT(HashParts::Bin(rng.Next(), 12345), 12345u);
+  }
+}
+
+TEST(HashParts, QuotientUniform) {
+  Xoshiro256 rng(25);
+  std::vector<int> counts(25, 0);
+  constexpr int kSamples = 250000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[HashParts::Quotient(rng.Next(), 25)];
+  }
+  const double expected = kSamples / 25.0;
+  for (int q = 0; q < 25; ++q) {
+    EXPECT_NEAR(counts[q], expected, 6 * std::sqrt(expected)) << "q=" << q;
+  }
+}
+
+TEST(HashBytes, DeterministicAndSeedSensitive) {
+  const char data[] = "the quick brown fox";
+  EXPECT_EQ(HashBytes(data, sizeof(data), 1), HashBytes(data, sizeof(data), 1));
+  EXPECT_NE(HashBytes(data, sizeof(data), 1), HashBytes(data, sizeof(data), 2));
+}
+
+TEST(HashBytes, LengthSensitive) {
+  const char data[] = "aaaaaaaaaaaaaaaa";
+  EXPECT_NE(HashBytes(data, 15, 1), HashBytes(data, 16, 1));
+  EXPECT_NE(HashBytes(data, 7, 1), HashBytes(data, 8, 1));
+}
+
+TEST(HashBytes, ContentSensitive) {
+  const char a[] = "abcdefgh12345678";
+  const char b[] = "abcdefgh12345679";
+  EXPECT_NE(HashBytes(a, 16, 1), HashBytes(b, 16, 1));
+}
+
+}  // namespace
+}  // namespace prefixfilter

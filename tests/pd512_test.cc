@@ -1,0 +1,123 @@
+// Unit tests for PD512, the 64-byte PD(80, 8, 48) used by TwoChoicer.
+#include "src/pd/pd512.h"
+
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+PD512 MakeEmptyPd() {
+  PD512 pd;
+  std::memset(&pd, 0, sizeof(pd));
+  return pd;
+}
+
+TEST(PD512, ZeroMemoryIsEmpty) {
+  PD512 pd = MakeEmptyPd();
+  EXPECT_EQ(pd.Size(), 0);
+  EXPECT_FALSE(pd.Full());
+  for (int q = 0; q < PD512::kNumLists; q += 7) {
+    EXPECT_FALSE(pd.Find(q, 0));
+    EXPECT_EQ(pd.OccupancyOf(q), 0);
+  }
+}
+
+TEST(PD512, InsertThenFind) {
+  PD512 pd = MakeEmptyPd();
+  EXPECT_TRUE(pd.Insert(79, 255));
+  EXPECT_TRUE(pd.Insert(0, 1));
+  EXPECT_TRUE(pd.Find(79, 255));
+  EXPECT_TRUE(pd.Find(0, 1));
+  EXPECT_FALSE(pd.Find(78, 255));
+  EXPECT_FALSE(pd.Find(0, 2));
+  EXPECT_EQ(pd.Size(), 2);
+}
+
+TEST(PD512, FillToCapacityThenReject) {
+  PD512 pd = MakeEmptyPd();
+  Xoshiro256 rng(41);
+  for (int i = 0; i < PD512::kCapacity; ++i) {
+    ASSERT_TRUE(pd.Insert(static_cast<int>(rng.Below(80)),
+                          static_cast<uint8_t>(rng.Next())));
+  }
+  EXPECT_TRUE(pd.Full());
+  EXPECT_FALSE(pd.Insert(40, 7));
+  EXPECT_EQ(pd.Size(), PD512::kCapacity);
+}
+
+TEST(PD512, HeaderSpansTwoWords) {
+  // Fill lists near the 64-bit boundary of the header: with elements in
+  // lists 0..20, the encoding for higher lists crosses bit 64.
+  PD512 pd = MakeEmptyPd();
+  for (int q = 0; q < 21; ++q) {
+    ASSERT_TRUE(pd.Insert(q, static_cast<uint8_t>(q)));
+    ASSERT_TRUE(pd.Insert(q, static_cast<uint8_t>(q + 100)));
+  }
+  EXPECT_EQ(pd.Size(), 42);
+  for (int q = 0; q < 21; ++q) {
+    EXPECT_TRUE(pd.Find(q, static_cast<uint8_t>(q)));
+    EXPECT_TRUE(pd.Find(q, static_cast<uint8_t>(q + 100)));
+    EXPECT_FALSE(pd.Find(q, 250));
+  }
+  // Lists beyond the boundary still answer correctly.
+  for (int q = 21; q < 80; q += 5) {
+    EXPECT_FALSE(pd.Find(q, static_cast<uint8_t>(q)));
+  }
+}
+
+TEST(PD512, LastListBoundary) {
+  PD512 pd = MakeEmptyPd();
+  for (int i = 0; i < PD512::kCapacity; ++i) {
+    ASSERT_TRUE(pd.Insert(79, static_cast<uint8_t>(i)));
+  }
+  EXPECT_TRUE(pd.Full());
+  EXPECT_EQ(pd.OccupancyOf(79), 48);
+  for (int i = 0; i < PD512::kCapacity; ++i) {
+    EXPECT_TRUE(pd.Find(79, static_cast<uint8_t>(i)));
+  }
+  EXPECT_FALSE(pd.Find(79, 200));
+  EXPECT_FALSE(pd.Find(78, 0));
+}
+
+TEST(PD512, MultiMatchFallback) {
+  PD512 pd = MakeEmptyPd();
+  for (int q = 0; q < 48; ++q) ASSERT_TRUE(pd.Insert(q % 80, 111));
+  for (int q = 0; q < 48; ++q) EXPECT_TRUE(pd.Find(q, 111));
+  for (int q = 48; q < 80; ++q) EXPECT_FALSE(pd.Find(q, 111));
+  EXPECT_FALSE(pd.Find(0, 112));
+}
+
+TEST(PD512, DecodeGroupsByQuotient) {
+  PD512 pd = MakeEmptyPd();
+  Xoshiro256 rng(42);
+  std::multiset<std::pair<int, int>> model;
+  for (int i = 0; i < PD512::kCapacity; ++i) {
+    const int q = static_cast<int>(rng.Below(80));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    ASSERT_TRUE(pd.Insert(q, r));
+    model.insert({q, r});
+  }
+  const auto decoded = pd.Decode();
+  ASSERT_EQ(decoded.size(), model.size());
+  std::multiset<std::pair<int, int>> got;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(decoded[i - 1].first, decoded[i].first);
+    }
+    got.insert({decoded[i].first, decoded[i].second});
+  }
+  EXPECT_EQ(got, model);
+}
+
+TEST(PD512, SizeOfStructIs64Bytes) {
+  EXPECT_EQ(sizeof(PD512), 64u);
+  EXPECT_EQ(alignof(PD512), 64u);
+}
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,132 @@
+// Differential tests: the optimized pocket dictionaries must agree with the
+// portable ReferencePd on randomized operation sequences, including the
+// full-capacity and eviction paths.  Parameterized over seeds so ctest runs
+// many independent fuzz universes.
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/pd/pd256.h"
+#include "src/pd/pd512.h"
+#include "src/pd/pd_reference.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+class Pd256Differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Pd256Differential, RandomInsertFindAgainstReference) {
+  Xoshiro256 rng(GetParam());
+  PD256 pd;
+  std::memset(&pd, 0, sizeof(pd));
+  ReferencePd ref(PD256::kNumLists, PD256::kCapacity);
+
+  for (int i = 0; i < 200; ++i) {
+    const int q = static_cast<int>(rng.Below(PD256::kNumLists));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    ASSERT_EQ(pd.Insert(q, r), ref.Insert(q, r)) << "step " << i;
+    // Probe a mix of present and random elements.
+    for (int probe = 0; probe < 8; ++probe) {
+      const int pq = static_cast<int>(rng.Below(PD256::kNumLists));
+      const uint8_t pr = static_cast<uint8_t>(rng.Below(64));  // denser hits
+      ASSERT_EQ(pd.Find(pq, pr), ref.Find(pq, pr))
+          << "step " << i << " probe (" << pq << "," << int(pr) << ")";
+    }
+    ASSERT_EQ(pd.Size(), ref.size());
+    ASSERT_EQ(pd.Full(), ref.Full());
+  }
+}
+
+TEST_P(Pd256Differential, OccupancyMatchesReference) {
+  Xoshiro256 rng(GetParam() ^ 0xabcdu);
+  PD256 pd;
+  std::memset(&pd, 0, sizeof(pd));
+  ReferencePd ref(PD256::kNumLists, PD256::kCapacity);
+  for (int i = 0; i < PD256::kCapacity; ++i) {
+    const int q = static_cast<int>(rng.Below(PD256::kNumLists));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    pd.Insert(q, r);
+    ref.Insert(q, r);
+  }
+  for (int q = 0; q < PD256::kNumLists; ++q) {
+    EXPECT_EQ(pd.OccupancyOf(q), ref.OccupancyOf(q)) << "q=" << q;
+  }
+}
+
+TEST_P(Pd256Differential, EvictionAgainstReference) {
+  // Emulates the prefix filter's insertion protocol against the reference:
+  // fill, then stream random fingerprints; smaller-than-max fingerprints
+  // replace the max.  The PD must track the reference's surviving multiset.
+  Xoshiro256 rng(GetParam() ^ 0x5eedu);
+  PD256 pd;
+  std::memset(&pd, 0, sizeof(pd));
+  ReferencePd ref(PD256::kNumLists, PD256::kCapacity);
+  for (int i = 0; i < PD256::kCapacity; ++i) {
+    const int q = static_cast<int>(rng.Below(PD256::kNumLists));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    pd.Insert(q, r);
+    ref.Insert(q, r);
+  }
+  pd.MarkOverflowed();
+
+  for (int round = 0; round < 300; ++round) {
+    const int q = static_cast<int>(rng.Below(PD256::kNumLists));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    const auto ref_max = ref.Max();
+    const uint16_t fp_max =
+        static_cast<uint16_t>((ref_max.first << 8) | ref_max.second);
+    ASSERT_EQ(pd.MaxFingerprint(), fp_max) << "round " << round;
+    const uint16_t fp = static_cast<uint16_t>((q << 8) | r);
+    if (fp > fp_max) continue;  // forwarded to spare; bin unchanged
+    ref.RemoveMax();
+    ref.Insert(q, r);
+    pd.ReplaceMax(q, r);
+    // Spot-check membership parity.
+    for (int probe = 0; probe < 6; ++probe) {
+      const int pq = static_cast<int>(rng.Below(PD256::kNumLists));
+      const uint8_t pr = static_cast<uint8_t>(rng.Next());
+      ASSERT_EQ(pd.Find(pq, pr), ref.Find(pq, pr)) << "round " << round;
+    }
+  }
+  // Full decode parity at the end.
+  std::multiset<std::pair<int, int>> got, want;
+  for (auto [q, r] : pd.Decode()) got.insert({q, r});
+  for (auto [q, r] : ref.Sorted()) want.insert({q, r});
+  EXPECT_EQ(got, want);
+}
+
+class Pd512Differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Pd512Differential, RandomInsertFindAgainstReference) {
+  Xoshiro256 rng(GetParam());
+  PD512 pd;
+  std::memset(&pd, 0, sizeof(pd));
+  ReferencePd ref(PD512::kNumLists, PD512::kCapacity);
+
+  for (int i = 0; i < 300; ++i) {
+    const int q = static_cast<int>(rng.Below(PD512::kNumLists));
+    const uint8_t r = static_cast<uint8_t>(rng.Next());
+    ASSERT_EQ(pd.Insert(q, r), ref.Insert(q, r)) << "step " << i;
+    for (int probe = 0; probe < 8; ++probe) {
+      const int pq = static_cast<int>(rng.Below(PD512::kNumLists));
+      const uint8_t pr = static_cast<uint8_t>(rng.Below(64));
+      ASSERT_EQ(pd.Find(pq, pr), ref.Find(pq, pr))
+          << "step " << i << " probe (" << pq << "," << int(pr) << ")";
+    }
+    ASSERT_EQ(pd.Size(), ref.size());
+  }
+  for (int q = 0; q < PD512::kNumLists; ++q) {
+    EXPECT_EQ(pd.OccupancyOf(q), ref.OccupancyOf(q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pd256Differential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+INSTANTIATE_TEST_SUITE_P(Seeds, Pd512Differential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,117 @@
+// Property test for Invariant 1 (the Prefix Invariant, §4.1): at any point
+// during a build, every bin stores a *prefix* of the sorted multiset of
+// mini-fingerprints mapped to it, and every fingerprint not in its bin was
+// forwarded to the spare.
+//
+// We reconstruct the ground truth by shadowing the filter's own hashing
+// (same seed, same HashParts split) and compare bin contents against the
+// model after every growth step.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/util/hash.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+class PrefixInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixInvariantTest, BinsHoldSortedPrefixes) {
+  const uint64_t n = 20000;
+  PrefixFilterOptions options;
+  options.seed = GetParam();
+  PrefixFilter<SpareCf12Traits> pf(n, options);
+
+  // Shadow hash: identical to the filter's internals.
+  Dietzfelbinger64 hash(options.seed);
+  const uint64_t m = pf.num_bins();
+
+  // Ground truth: all mini-fingerprints mapped to each bin so far.
+  std::map<uint64_t, std::vector<uint16_t>> model;
+
+  const auto keys = RandomKeys(n, GetParam() ^ 0xfeedu);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    ASSERT_TRUE(pf.Insert(key));
+    const uint64_t h = hash(key);
+    const uint64_t b = HashParts::Bin(h, m);
+    const uint16_t fp = static_cast<uint16_t>(
+        (HashParts::Quotient(h, PD256::kNumLists) << 8) |
+        HashParts::Remainder(h));
+    model[b].push_back(fp);
+
+    // Check the touched bin (checking all bins each step would be O(n^2)).
+    auto sorted = model[b];
+    std::sort(sorted.begin(), sorted.end());
+    const PD256& bin = pf.bin(b);
+    std::vector<uint16_t> stored;
+    for (auto [q, r] : bin.Decode()) {
+      stored.push_back(static_cast<uint16_t>((q << 8) | r));
+    }
+    std::sort(stored.begin(), stored.end());
+    ASSERT_LE(stored.size(), sorted.size());
+    // Invariant 1: stored == the |stored|-smallest fingerprints seen.
+    for (size_t j = 0; j < stored.size(); ++j) {
+      ASSERT_EQ(stored[j], sorted[j])
+          << "bin " << b << " violates the Prefix Invariant at step " << i;
+    }
+    // A bin missing fingerprints must be full and marked overflowed.
+    if (stored.size() < sorted.size()) {
+      ASSERT_TRUE(bin.Full());
+      ASSERT_TRUE(bin.Overflowed());
+      ASSERT_EQ(stored.size(), static_cast<size_t>(PD256::kCapacity));
+    }
+  }
+
+  // Final sweep over every bin.
+  for (const auto& [b, fps] : model) {
+    auto sorted = fps;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<uint16_t> stored;
+    for (auto [q, r] : pf.bin(b).Decode()) {
+      stored.push_back(static_cast<uint16_t>((q << 8) | r));
+    }
+    std::sort(stored.begin(), stored.end());
+    for (size_t j = 0; j < stored.size(); ++j) {
+      ASSERT_EQ(stored[j], sorted[j]) << "bin " << b;
+    }
+  }
+}
+
+TEST_P(PrefixInvariantTest, OverflowedBinMaxMatchesStoredMax) {
+  // §5.2.3's relaxed invariant, observed through the filter: for every
+  // overflowed bin, MaxFingerprint() equals the largest decoded fingerprint.
+  const uint64_t n = 50000;
+  PrefixFilterOptions options;
+  options.seed = GetParam() ^ 0xc0ffeeu;
+  PrefixFilter<SpareTcTraits> pf(n, options);
+  const auto keys = RandomKeys(n, GetParam());
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+
+  uint64_t overflowed_bins = 0;
+  for (uint64_t b = 0; b < pf.num_bins(); ++b) {
+    const PD256& bin = pf.bin(b);
+    if (!bin.Overflowed()) continue;
+    ++overflowed_bins;
+    uint16_t max_fp = 0;
+    for (auto [q, r] : bin.Decode()) {
+      max_fp = std::max<uint16_t>(max_fp,
+                                  static_cast<uint16_t>((q << 8) | r));
+    }
+    ASSERT_EQ(bin.MaxFingerprint(), max_fp) << "bin " << b;
+  }
+  EXPECT_GT(overflowed_bins, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixInvariantTest,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,70 @@
+#include "src/filters/quotient.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(Quotient, EmptyContainsNothing) {
+  QuotientFilter qf(1000);
+  const auto probes = RandomKeys(10000, 91);
+  for (uint64_t k : probes) EXPECT_FALSE(qf.Contains(k));
+}
+
+TEST(Quotient, NoFalseNegativesSmall) {
+  const auto keys = RandomKeys(1000, 92);
+  QuotientFilter qf(keys.size());
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Contains(k));
+}
+
+TEST(Quotient, NoFalseNegativesLarge) {
+  const auto keys = RandomKeys(200000, 93);
+  QuotientFilter qf(keys.size());
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Contains(k));
+}
+
+TEST(Quotient, NoFalseNegativesAtHighLoad) {
+  // Long shifted clusters form near the max load factor; membership must
+  // survive them.
+  const uint64_t n = 60000;
+  const auto keys = RandomKeys(n, 94);
+  QuotientFilter qf(n);
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(qf.Contains(k));
+}
+
+TEST(Quotient, FprNearRemainderWidth) {
+  const auto keys = RandomKeys(100000, 95);
+  QuotientFilter qf(keys.size());
+  for (uint64_t k : keys) qf.Insert(k);
+  const auto probes = RandomKeys(400000, 96);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += qf.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  // ~ load * 2^-13 ~ 0.01%; accept up to 0.05%.
+  EXPECT_LT(rate, 0.0005);
+}
+
+TEST(Quotient, InsertIdempotentForSameKey) {
+  QuotientFilter qf(1000);
+  EXPECT_TRUE(qf.Insert(7));
+  EXPECT_TRUE(qf.Insert(7));  // duplicate remainders stored once
+  EXPECT_TRUE(qf.Contains(7));
+}
+
+TEST(Quotient, RejectsBeyondMaxLoad) {
+  QuotientFilter qf(100);
+  const auto keys = RandomKeys(10000, 97);
+  size_t inserted = 0;
+  while (inserted < keys.size() && qf.Insert(keys[inserted])) ++inserted;
+  EXPECT_LT(inserted, keys.size());
+  // Everything inserted before the failure must still be found.
+  for (size_t i = 0; i < inserted; ++i) ASSERT_TRUE(qf.Contains(keys[i]));
+}
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,80 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prefixfilter {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, BitBalance) {
+  Xoshiro256 rng(9);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) ones += std::popcount(rng.Next());
+  const double mean = static_cast<double>(ones) / kSamples;
+  EXPECT_NEAR(mean, 32.0, 0.5);
+}
+
+TEST(Xoshiro, UsableWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const std::vector<int> orig = v;
+  Xoshiro256 rng(10);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, orig);  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);  // a permutation
+}
+
+TEST(RandomKeys, DistinctWithOverwhelmingProbability) {
+  const auto keys = RandomKeys(100000, 1);
+  std::set<uint64_t> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+TEST(RandomKeys, SeedSensitive) {
+  EXPECT_NE(RandomKeys(10, 1), RandomKeys(10, 2));
+  EXPECT_EQ(RandomKeys(10, 3), RandomKeys(10, 3));
+}
+
+TEST(SampleKeys, DrawsOnlyFromPrefix) {
+  const auto keys = RandomKeys(1000, 4);
+  const auto sample = SampleKeys(keys, 100, 5000, 5);
+  const std::set<uint64_t> prefix(keys.begin(), keys.begin() + 100);
+  for (uint64_t k : sample) {
+    EXPECT_TRUE(prefix.count(k)) << "sampled key outside prefix";
+  }
+}
+
+TEST(SampleKeys, CoversPrefix) {
+  const auto keys = RandomKeys(64, 6);
+  const auto sample = SampleKeys(keys, 64, 6400, 7);
+  const std::set<uint64_t> seen(sample.begin(), sample.end());
+  // Coupon collector: 6400 draws over 64 coupons misses one w.p. ~ 2^-100.
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+}  // namespace
+}  // namespace prefixfilter

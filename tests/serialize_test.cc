@@ -1,0 +1,154 @@
+// Round-trip tests for filter persistence: a deserialized filter must answer
+// every query exactly as the original, and corrupted/truncated inputs must
+// be rejected rather than crash.
+#include "src/util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/filters/blocked_bloom.h"
+#include "src/filters/bloom.h"
+#include "src/filters/cuckoo.h"
+#include "src/filters/twochoicer.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(ByteStream, PrimitivesRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.U8(0xab);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.F64(3.25);
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.F64(), 3.25);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStream, ShortReadFailsSoft) {
+  std::vector<uint8_t> buf = {1, 2, 3};
+  ByteReader r(buf.data(), buf.size());
+  r.U64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // subsequent reads return zeros
+}
+
+// Generic round-trip checker: equality of responses on inserted keys and on
+// a probe stream (which pins down false positives too).
+template <typename Filter>
+void ExpectSameResponses(const Filter& a, const Filter& b,
+                         const std::vector<uint64_t>& keys,
+                         const std::vector<uint64_t>& probes) {
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(a.Contains(k));
+    ASSERT_TRUE(b.Contains(k));
+  }
+  for (uint64_t k : probes) {
+    ASSERT_EQ(a.Contains(k), b.Contains(k)) << "key " << k;
+  }
+}
+
+template <typename Filter>
+void RoundTrip(Filter filter, uint64_t n, uint64_t seed) {
+  const auto keys = RandomKeys(n, seed);
+  for (uint64_t k : keys) ASSERT_TRUE(filter.Insert(k));
+  std::vector<uint8_t> bytes;
+  filter.SerializeTo(&bytes);
+  auto loaded = Filter::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), filter.size());
+  EXPECT_EQ(loaded->SpaceBytes(), filter.SpaceBytes());
+  const auto probes = RandomKeys(50000, seed ^ 0xffu);
+  ExpectSameResponses(filter, *loaded, keys, probes);
+  // Truncated input must be rejected.
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(Filter::Deserialize(bytes.data(), cut).has_value());
+  }
+  // Corrupted magic must be rejected.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(Filter::Deserialize(bad.data(), bad.size()).has_value());
+}
+
+TEST(Serialize, Bloom) { RoundTrip(BloomFilter(30000, 12.0, 8, 5), 30000, 191); }
+
+TEST(Serialize, BlockedBloomFlexible) {
+  RoundTrip(BlockedBloomFilter::MakeFlexible(30000, 10.67, 5), 30000, 192);
+}
+
+TEST(Serialize, BlockedBloomNonFlexible) {
+  RoundTrip(BlockedBloomFilter::MakeNonFlexible(30000, 5), 30000, 193);
+}
+
+TEST(Serialize, Cuckoo12) {
+  RoundTrip(CuckooFilter12(30000, true, 5), 30000, 194);
+}
+
+TEST(Serialize, Cuckoo8NonFlex) {
+  RoundTrip(CuckooFilter8(30000, false, 5), 30000, 195);
+}
+
+TEST(Serialize, TwoChoicer) { RoundTrip(TwoChoicer(30000, 5), 30000, 196); }
+
+TEST(Serialize, CuckooRejectsWrongTagWidth) {
+  CuckooFilter12 cf(1000, true, 5);
+  std::vector<uint8_t> bytes;
+  cf.SerializeTo(&bytes);
+  EXPECT_FALSE(CuckooFilter8::Deserialize(bytes.data(), bytes.size()));
+  EXPECT_FALSE(CuckooFilter16::Deserialize(bytes.data(), bytes.size()));
+}
+
+template <typename SpareTraits>
+class PrefixFilterSerializeTest : public ::testing::Test {};
+using SpareTypes =
+    ::testing::Types<SpareBbfTraits, SpareCf12Traits, SpareTcTraits>;
+TYPED_TEST_SUITE(PrefixFilterSerializeTest, SpareTypes);
+
+TYPED_TEST(PrefixFilterSerializeTest, RoundTripFull) {
+  const uint64_t n = 100000;
+  PrefixFilterOptions options;
+  options.seed = 7;
+  PrefixFilter<TypeParam> pf(n, options);
+  const auto keys = RandomKeys(n, 197);
+  for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
+
+  std::vector<uint8_t> bytes;
+  pf.SerializeTo(&bytes);
+  auto loaded = PrefixFilter<TypeParam>::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), pf.size());
+  EXPECT_EQ(loaded->SpaceBytes(), pf.SpaceBytes());
+  EXPECT_EQ(loaded->stats().spare_inserts, pf.stats().spare_inserts);
+
+  const auto probes = RandomKeys(100000, 198);
+  ExpectSameResponses(pf, *loaded, keys, probes);
+
+  // A loaded filter keeps working incrementally.
+  const auto more = RandomKeys(100, 199);
+  for (uint64_t k : more) {
+    ASSERT_TRUE(loaded->Insert(k));
+    ASSERT_TRUE(loaded->Contains(k));
+  }
+}
+
+TYPED_TEST(PrefixFilterSerializeTest, RejectsTruncation) {
+  PrefixFilter<TypeParam> pf(10000);
+  const auto keys = RandomKeys(10000, 200);
+  for (uint64_t k : keys) pf.Insert(k);
+  std::vector<uint8_t> bytes;
+  pf.SerializeTo(&bytes);
+  for (size_t cut = 0; cut < bytes.size(); cut += bytes.size() / 13 + 1) {
+    EXPECT_FALSE(
+        PrefixFilter<TypeParam>::Deserialize(bytes.data(), cut).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter

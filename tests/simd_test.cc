@@ -1,0 +1,113 @@
+#include "src/util/simd.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/util/aligned.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+class SimdTest : public ::testing::Test {
+ protected:
+  // 64-byte aligned scratch block.
+  alignas(64) uint8_t block_[64];
+};
+
+TEST_F(SimdTest, FindByteMask32MatchesScalar) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (auto& b : block_) b = static_cast<uint8_t>(rng.Next() & 0xf);
+    const uint8_t needle = static_cast<uint8_t>(rng.Next() & 0xf);
+    EXPECT_EQ(FindByteMask32(block_, needle),
+              static_cast<uint32_t>(FindByteMaskScalar(block_, needle, 32)));
+  }
+}
+
+TEST_F(SimdTest, FindByteMask64MatchesScalar) {
+  Xoshiro256 rng(12);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (auto& b : block_) b = static_cast<uint8_t>(rng.Next() & 0x7);
+    const uint8_t needle = static_cast<uint8_t>(rng.Next() & 0x7);
+    EXPECT_EQ(FindByteMask64(block_, needle),
+              FindByteMaskScalar(block_, needle, 64));
+  }
+}
+
+TEST_F(SimdTest, FindByteMask32NoMatch) {
+  std::memset(block_, 0xaa, sizeof(block_));
+  EXPECT_EQ(FindByteMask32(block_, 0xbb), 0u);
+}
+
+TEST_F(SimdTest, FindByteMask32AllMatch) {
+  std::memset(block_, 0x55, sizeof(block_));
+  EXPECT_EQ(FindByteMask32(block_, 0x55), 0xffffffffu);
+}
+
+TEST_F(SimdTest, FindByteMask64SingleMatchEveryPosition) {
+  for (int pos = 0; pos < 64; ++pos) {
+    std::memset(block_, 0, sizeof(block_));
+    block_[pos] = 0x7f;
+    EXPECT_EQ(FindByteMask64(block_, 0x7f), uint64_t{1} << pos);
+  }
+}
+
+TEST_F(SimdTest, FindByteMask32SingleMatchEveryPosition) {
+  for (int pos = 0; pos < 32; ++pos) {
+    std::memset(block_, 0xff, sizeof(block_));
+    block_[pos] = 3;
+    EXPECT_EQ(FindByteMask32(block_, 3), uint32_t{1} << pos);
+  }
+}
+
+// --- blocked-Bloom kernel --------------------------------------------------
+
+TEST(BlockedBloomKernel, AddThenContains) {
+  alignas(64) uint32_t block[8] = {0};
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const uint32_t h = static_cast<uint32_t>(rng.Next());
+    BlockedBloomAdd(h, block);
+    EXPECT_TRUE(BlockedBloomContains(h, block));
+  }
+}
+
+TEST(BlockedBloomKernel, EmptyBlockContainsNothing) {
+  alignas(64) uint32_t block[8] = {0};
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(BlockedBloomContains(static_cast<uint32_t>(rng.Next()), block));
+  }
+}
+
+TEST(BlockedBloomKernel, SimdAgreesWithScalarMask) {
+  // After adding h, exactly the 8 scalar-mask bits must be set.
+  Xoshiro256 rng(15);
+  for (int trial = 0; trial < 500; ++trial) {
+    alignas(64) uint32_t block[8] = {0};
+    const uint32_t h = static_cast<uint32_t>(rng.Next());
+    BlockedBloomAdd(h, block);
+    uint32_t expect[8];
+    BlockedBloomMaskScalar(h, expect);
+    for (int lane = 0; lane < 8; ++lane) {
+      EXPECT_EQ(block[lane], expect[lane]) << "lane " << lane;
+    }
+  }
+}
+
+TEST(BlockedBloomKernel, SetsOneBitPerLane) {
+  uint32_t mask[8];
+  Xoshiro256 rng(16);
+  for (int trial = 0; trial < 500; ++trial) {
+    BlockedBloomMaskScalar(static_cast<uint32_t>(rng.Next()), mask);
+    for (int lane = 0; lane < 8; ++lane) {
+      EXPECT_EQ(std::popcount(mask[lane]), 1) << "lane " << lane;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,66 @@
+#include "src/filters/twochoicer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(TwoChoicer, NoFalseNegatives) {
+  const auto keys = RandomKeys(200000, 101);
+  TwoChoicer tc(keys.size());
+  for (uint64_t k : keys) ASSERT_TRUE(tc.Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(tc.Contains(k));
+}
+
+TEST(TwoChoicer, FillsToFullCapacity) {
+  // Power-of-two-choices must reach the rated 93.5% bin load without
+  // failures (unlike the cuckoo filter's kick loop).
+  const uint64_t n = 500000;
+  const auto keys = RandomKeys(n, 102);
+  TwoChoicer tc(n);
+  for (uint64_t k : keys) ASSERT_TRUE(tc.Insert(k));
+  EXPECT_EQ(tc.size(), n);
+}
+
+TEST(TwoChoicer, FprNearPaper) {
+  // Paper Table 3: TC empirical FPR 0.44%.
+  const auto keys = RandomKeys(200000, 103);
+  TwoChoicer tc(keys.size());
+  for (uint64_t k : keys) tc.Insert(k);
+  const auto probes = RandomKeys(400000, 104);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += tc.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  EXPECT_NEAR(rate, 0.0044, 0.0015);
+}
+
+TEST(TwoChoicer, SpaceMatchesTable3) {
+  // 512 bits per bin / (0.935 * 48) keys per bin = 11.41 bits/key.
+  const uint64_t n = 1 << 20;
+  TwoChoicer tc(n);
+  const double bpk = 8.0 * tc.SpaceBytes() / static_cast<double>(n);
+  EXPECT_NEAR(bpk, 11.41, 0.05);
+}
+
+TEST(TwoChoicer, EmptyContainsNothing) {
+  TwoChoicer tc(10000);
+  const auto probes = RandomKeys(50000, 105);
+  uint64_t hits = 0;
+  for (uint64_t k : probes) hits += tc.Contains(k);
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(TwoChoicer, ArbitraryCapacities) {
+  // Not restricted to powers of two (the paper's flexibility point).
+  for (uint64_t n : {1000u, 12345u, 99999u}) {
+    const auto keys = RandomKeys(n, 106 + n);
+    TwoChoicer tc(n);
+    for (uint64_t k : keys) ASSERT_TRUE(tc.Insert(k));
+    for (uint64_t k : keys) ASSERT_TRUE(tc.Contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter

@@ -1,0 +1,67 @@
+#include "src/filters/xor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(Xor, NoFalseNegatives) {
+  const auto keys = RandomKeys(100000, 171);
+  XorFilter8 xf(keys);
+  for (uint64_t k : keys) ASSERT_TRUE(xf.Contains(k));
+}
+
+TEST(Xor, FprNearTwoToMinus8) {
+  const auto keys = RandomKeys(200000, 172);
+  XorFilter8 xf(keys);
+  const auto probes = RandomKeys(400000, 173);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += xf.Contains(k);
+  const double rate = static_cast<double>(fp) / probes.size();
+  EXPECT_NEAR(rate, 1.0 / 256, 0.0012);
+}
+
+TEST(Xor, SpaceNear984BitsPerKey) {
+  const uint64_t n = 1 << 20;
+  const auto keys = RandomKeys(n, 174);
+  XorFilter8 xf(keys);
+  const double bpk = 8.0 * xf.SpaceBytes() / static_cast<double>(n);
+  // 1.23 * 8 = 9.84 bits/key plus slack.
+  EXPECT_GT(bpk, 9.5);
+  EXPECT_LT(bpk, 10.3);
+}
+
+TEST(Xor, SmallSets) {
+  for (size_t n : {1u, 2u, 10u, 100u}) {
+    const auto keys = RandomKeys(n, 175 + n);
+    XorFilter8 xf(keys);
+    for (uint64_t k : keys) ASSERT_TRUE(xf.Contains(k)) << "n=" << n;
+  }
+}
+
+TEST(Xor, EmptySet) {
+  XorFilter8 xf(std::vector<uint64_t>{});
+  const auto probes = RandomKeys(10000, 176);
+  uint64_t fp = 0;
+  for (uint64_t k : probes) fp += xf.Contains(k);
+  // Zero-filled table: fp(key)==0 happens for ~1/256 of probes.
+  EXPECT_LT(static_cast<double>(fp) / probes.size(), 0.01);
+}
+
+TEST(Xor, DeterministicForSeed) {
+  const auto keys = RandomKeys(1000, 177);
+  XorFilter8 a(keys, 9), b(keys, 9);
+  const auto probes = RandomKeys(10000, 178);
+  for (uint64_t k : probes) EXPECT_EQ(a.Contains(k), b.Contains(k));
+}
+
+TEST(Xor, DuplicateKeysRejected) {
+  std::vector<uint64_t> keys = RandomKeys(1000, 179);
+  keys.push_back(keys.front());  // a duplicate peeling cannot resolve
+  EXPECT_THROW(XorFilter8 xf(keys), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prefixfilter
