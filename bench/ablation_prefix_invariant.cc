@@ -51,8 +51,7 @@ int main(int argc, char** argv) {
   // Batched negative queries on the PF (prefetch across the chunk).
   std::vector<uint8_t> out(negatives.size());
   bench::Timer batch_timer;
-  pf.ContainsBatch(negatives.data(), negatives.size(),
-                   reinterpret_cast<bool*>(out.data()));
+  pf.ContainsBatch(negatives.data(), negatives.size(), out.data());
   const double pf_batch_secs = batch_timer.Seconds();
   bench::KeepAlive(out[0]);
 

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/analysis/bounds.h"
 #include "src/pd/pd256.h"
@@ -72,9 +73,14 @@ class ConcurrentPrefixFilter {
   static constexpr uint32_t kNumLists = PD256::kNumLists;
   static constexpr uint32_t kMiniFpRange = kNumLists * 256;
 
+  // `spare_shards` partitions the concurrent spare into that many
+  // independently-locked sub-filters (rounded up to a power of two;
+  // default 16).  More shards buy less contention on the forwarding path at
+  // the cost of per-shard sizing headroom.
   explicit ConcurrentPrefixFilter(uint64_t capacity,
                                   double bin_load_factor = 0.95,
-                                  uint64_t seed = 0x9f1e61a5u)
+                                  uint64_t seed = 0x9f1e61a5u,
+                                  uint32_t spare_shards = kDefaultSpareShards)
       : capacity_(capacity),
         num_bins_(std::max<uint64_t>(
             2, static_cast<uint64_t>(
@@ -86,16 +92,18 @@ class ConcurrentPrefixFilter {
         num_lock_stripes_(std::min<uint64_t>(
             kMaxLockStripes, NextPow2((num_bins_ + kBinsPerLock - 1) /
                                       kBinsPerLock))),
-        locks_(std::make_unique<internal::SpinLock[]>(num_lock_stripes_)) {
+        locks_(std::make_unique<internal::SpinLock[]>(num_lock_stripes_)),
+        num_spare_shards_(static_cast<uint32_t>(NextPow2(std::clamp<uint32_t>(
+            spare_shards, 1, kMaxSpareShards)))) {
     // Sharded concurrent spare: each shard holds its hash-partitioned slice
     // of the expected spare population plus balls-into-bins headroom.
     const uint64_t per_shard =
-        spare_capacity_ / kSpareShards +
-        4 * static_cast<uint64_t>(
-                std::sqrt(static_cast<double>(spare_capacity_) / kSpareShards)) +
+        spare_capacity_ / num_spare_shards_ +
+        4 * static_cast<uint64_t>(std::sqrt(
+                static_cast<double>(spare_capacity_) / num_spare_shards_)) +
         64;
-    shards_.reserve(kSpareShards);
-    for (int s = 0; s < kSpareShards; ++s) {
+    shards_.reserve(num_spare_shards_);
+    for (uint32_t s = 0; s < num_spare_shards_; ++s) {
       shards_.push_back(std::make_unique<SpareShard>(
           SpareTraits::Create(per_shard, seed ^ (0x51a7eull + s))));
     }
@@ -142,6 +150,7 @@ class ConcurrentPrefixFilter {
 
   uint64_t capacity() const { return capacity_; }
   uint64_t num_bins() const { return num_bins_; }
+  uint32_t spare_shards() const { return num_spare_shards_; }
   size_t SpaceBytes() const {
     size_t total = bins_.SizeBytes();
     for (const auto& shard : shards_) total += shard->filter.SpaceBytes();
@@ -157,7 +166,10 @@ class ConcurrentPrefixFilter {
   // still logically per-bin-line; the cap only bounds lock memory).
   static constexpr uint64_t kBinsPerLock = 2;
   static constexpr uint64_t kMaxLockStripes = 1 << 16;
-  static constexpr int kSpareShards = 16;
+  static constexpr uint32_t kDefaultSpareShards = 16;
+  // Bounds the shard count before NextPow2 (whose uint64_t result would
+  // otherwise truncate to 0 in uint32_t for requests above 2^31).
+  static constexpr uint32_t kMaxSpareShards = 1 << 12;
 
   struct SpareShard {
     explicit SpareShard(Spare f) : filter(std::move(f)) {}
@@ -171,7 +183,7 @@ class ConcurrentPrefixFilter {
 
   SpareShard& ShardFor(uint64_t spare_key) const {
     return *shards_[Mix64(spare_key * 0x9e3779b97f4a7c15ULL) &
-                    (kSpareShards - 1)];
+                    (num_spare_shards_ - 1)];
   }
 
   uint64_t capacity_;
@@ -180,6 +192,7 @@ class ConcurrentPrefixFilter {
   AlignedBuffer<PD256> bins_;
   uint64_t num_lock_stripes_;
   mutable std::unique_ptr<internal::SpinLock[]> locks_;
+  uint32_t num_spare_shards_;
   mutable std::vector<std::unique_ptr<SpareShard>> shards_;
   Dietzfelbinger64 hash_;
 };

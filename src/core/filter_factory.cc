@@ -1,5 +1,6 @@
 #include "src/core/filter_factory.h"
 
+#include <type_traits>
 #include <utility>
 
 #include "src/core/prefix_filter.h"
@@ -9,18 +10,54 @@
 #include "src/filters/cuckoo.h"
 #include "src/filters/quotient.h"
 #include "src/filters/twochoicer.h"
+// Deliberate .cc-level reach into src/service/ for the SHARD<n>[...] names:
+// the headers stay acyclic (service includes core, never the reverse), and
+// the alternative — a static-init registration hook — silently breaks in a
+// static library, where the linker drops sharded_filter.o (and its
+// registrar) from any binary that names sharded configs without referencing
+// a service symbol directly.
+#include "src/service/sharded_filter.h"
+#include "src/util/serialize.h"
 
 namespace prefixfilter {
 namespace {
 
-// Adapts any concrete filter to the AnyFilter interface.
+// Detects a concrete filter's prefetching byte-output batch path (the prefix
+// filter has one; single-cache-line designs like the blocked Bloom filter do
+// not need one and fall back to the scalar loop).
+template <typename F, typename = void>
+struct HasByteBatch : std::false_type {};
+template <typename F>
+struct HasByteBatch<
+    F, std::void_t<decltype(std::declval<const F&>().ContainsBatch(
+           static_cast<const uint64_t*>(nullptr), size_t{0},
+           static_cast<uint8_t*>(nullptr)))>> : std::true_type {};
+
+// Adapts any concrete filter to the AnyFilter interface.  `factory_name` is
+// the canonical MakeFilter() spelling, kept so snapshots are tagged with a
+// name DeserializeFilter() can dispatch on (a filter's own Name() may embed
+// derived parameters, e.g. "BF-8[k=6]").
 template <typename F>
 class FilterAdapter final : public AnyFilter {
  public:
-  explicit FilterAdapter(F filter) : filter_(std::move(filter)) {}
+  FilterAdapter(F filter, std::string factory_name)
+      : filter_(std::move(filter)), factory_name_(std::move(factory_name)) {}
 
   bool Insert(uint64_t key) override { return filter_.Insert(key); }
   bool Contains(uint64_t key) const override { return filter_.Contains(key); }
+  void ContainsBatch(const uint64_t* keys, size_t count,
+                     uint8_t* out) const override {
+    if constexpr (HasByteBatch<F>::value) {
+      filter_.ContainsBatch(keys, count, out);
+    } else {
+      AnyFilter::ContainsBatch(keys, count, out);
+    }
+  }
+  bool SerializeTo(std::vector<uint8_t>* out) const override {
+    WriteFilterEnvelope(factory_name_, out);
+    filter_.SerializeTo(out);
+    return true;
+  }
   size_t SpaceBytes() const override { return filter_.SpaceBytes(); }
   uint64_t Capacity() const override { return filter_.capacity(); }
   std::string Name() const override { return filter_.Name(); }
@@ -29,44 +66,85 @@ class FilterAdapter final : public AnyFilter {
 
  private:
   F filter_;
+  std::string factory_name_;
 };
 
 template <typename F>
-std::unique_ptr<AnyFilter> Wrap(F filter) {
-  return std::make_unique<FilterAdapter<F>>(std::move(filter));
+std::unique_ptr<AnyFilter> Wrap(F filter, std::string factory_name) {
+  return std::make_unique<FilterAdapter<F>>(std::move(filter),
+                                            std::move(factory_name));
+}
+
+// Restores a concrete filter from an envelope payload and re-wraps it.
+// The restored filter's self-reported Name() must agree with the envelope
+// tag ("payload/type mismatches -> nullptr"): payload fields fully determine
+// the geometry, so a CF-8-Flex payload filed under a rewritten "CF-8" tag
+// would otherwise restore with geometry the tag does not promise.  Bloom
+// filters append derived parameters ("BF-8[k=6]"), hence the prefix form.
+template <typename F>
+std::unique_ptr<AnyFilter> Rewrap(const uint8_t* payload, size_t len,
+                                  const std::string& factory_name) {
+  auto filter = F::Deserialize(payload, len);
+  if (!filter.has_value()) return nullptr;
+  const std::string actual = filter->Name();
+  if (actual != factory_name &&
+      actual.rfind(factory_name + "[", 0) != 0) {
+    return nullptr;
+  }
+  return Wrap(std::move(*filter), factory_name);
 }
 
 }  // namespace
 
-std::unique_ptr<AnyFilter> MakeFilter(const std::string& name,
+// "PF[CF-12-Flex]" is accepted as an alias: the spare traits' own tag is
+// "CF12-Flex" (see src/core/spare.h), which is what Name() reports.
+std::string CanonicalFilterName(const std::string& name) {
+  if (name == "PF[CF-12-Flex]") return "PF[CF12-Flex]";
+  return name;
+}
+
+std::unique_ptr<AnyFilter> MakeFilter(const std::string& raw_name,
                                       uint64_t capacity, uint64_t seed) {
+  const std::string name = CanonicalFilterName(raw_name);
   PrefixFilterOptions pf_options;
   pf_options.seed = seed;
-  if (name == "BF-8") return Wrap(BloomFilter(capacity, 8.0, 6, seed));
-  if (name == "BF-12") return Wrap(BloomFilter(capacity, 12.0, 8, seed));
-  if (name == "BF-16") return Wrap(BloomFilter(capacity, 16.0, 11, seed));
+  if (name == "BF-8") return Wrap(BloomFilter(capacity, 8.0, 6, seed), name);
+  if (name == "BF-12") return Wrap(BloomFilter(capacity, 12.0, 8, seed), name);
+  if (name == "BF-16") return Wrap(BloomFilter(capacity, 16.0, 11, seed), name);
   if (name == "BBF") {
-    return Wrap(BlockedBloomFilter::MakeNonFlexible(capacity, seed));
+    return Wrap(BlockedBloomFilter::MakeNonFlexible(capacity, seed), name);
   }
   if (name == "BBF-Flex") {
-    return Wrap(BlockedBloomFilter::MakeFlexible(capacity, 10.67, seed));
+    return Wrap(BlockedBloomFilter::MakeFlexible(capacity, 10.67, seed), name);
   }
-  if (name == "CF-8") return Wrap(CuckooFilter8(capacity, false, seed));
-  if (name == "CF-8-Flex") return Wrap(CuckooFilter8(capacity, true, seed));
-  if (name == "CF-12") return Wrap(CuckooFilter12(capacity, false, seed));
-  if (name == "CF-12-Flex") return Wrap(CuckooFilter12(capacity, true, seed));
-  if (name == "CF-16") return Wrap(CuckooFilter16(capacity, false, seed));
-  if (name == "CF-16-Flex") return Wrap(CuckooFilter16(capacity, true, seed));
-  if (name == "TC") return Wrap(TwoChoicer(capacity, seed));
-  if (name == "QF") return Wrap(QuotientFilter(capacity, seed));
+  if (name == "CF-8") return Wrap(CuckooFilter8(capacity, false, seed), name);
+  if (name == "CF-8-Flex") {
+    return Wrap(CuckooFilter8(capacity, true, seed), name);
+  }
+  if (name == "CF-12") return Wrap(CuckooFilter12(capacity, false, seed), name);
+  if (name == "CF-12-Flex") {
+    return Wrap(CuckooFilter12(capacity, true, seed), name);
+  }
+  if (name == "CF-16") return Wrap(CuckooFilter16(capacity, false, seed), name);
+  if (name == "CF-16-Flex") {
+    return Wrap(CuckooFilter16(capacity, true, seed), name);
+  }
+  if (name == "TC") return Wrap(TwoChoicer(capacity, seed), name);
+  if (name == "QF") return Wrap(QuotientFilter(capacity, seed), name);
   if (name == "PF[BBF-Flex]") {
-    return Wrap(PrefixFilter<SpareBbfTraits>(capacity, pf_options));
+    return Wrap(PrefixFilter<SpareBbfTraits>(capacity, pf_options), name);
   }
   if (name == "PF[CF12-Flex]") {
-    return Wrap(PrefixFilter<SpareCf12Traits>(capacity, pf_options));
+    return Wrap(PrefixFilter<SpareCf12Traits>(capacity, pf_options), name);
   }
   if (name == "PF[TC]") {
-    return Wrap(PrefixFilter<SpareTcTraits>(capacity, pf_options));
+    return Wrap(PrefixFilter<SpareTcTraits>(capacity, pf_options), name);
+  }
+  // "SHARD<n>[<inner>]": hash-partitioned sharded filter over any
+  // non-sharded inner configuration (src/service/sharded_filter.h).
+  if (ShardedFilterOptions parsed; ShardedFilter::ParseName(name, &parsed)) {
+    parsed.seed = seed;
+    return ShardedFilter::Make(capacity, parsed);
   }
   return nullptr;
 }
@@ -75,7 +153,55 @@ std::vector<std::string> KnownFilterNames() {
   return {"CF-8",  "CF-8-Flex",  "CF-12",    "CF-12-Flex",    "CF-16",
           "CF-16-Flex", "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]",
           "BBF",   "BBF-Flex",   "BF-8",     "BF-12",         "BF-16",
-          "TC",    "QF"};
+          "TC",    "QF",         "SHARD16[PF[TC]]"};
+}
+
+void WriteFilterEnvelope(const std::string& factory_name,
+                         std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.U32(kAnyFilterMagic);
+  w.U8(1);
+  w.Str(factory_name);
+}
+
+std::unique_ptr<AnyFilter> DeserializeFilter(const uint8_t* data, size_t len) {
+  ByteReader r(data, len);
+  if (r.U32() != kAnyFilterMagic || r.U8() != 1) return nullptr;
+  const std::string name = r.Str();
+  if (!r.ok() || name.empty()) return nullptr;
+  const uint8_t* payload = data + (len - r.remaining());
+  const size_t payload_len = r.remaining();
+
+  if (name == "BF-8" || name == "BF-12" || name == "BF-16") {
+    return Rewrap<BloomFilter>(payload, payload_len, name);
+  }
+  if (name == "BBF" || name == "BBF-Flex") {
+    return Rewrap<BlockedBloomFilter>(payload, payload_len, name);
+  }
+  if (name == "CF-8" || name == "CF-8-Flex") {
+    return Rewrap<CuckooFilter8>(payload, payload_len, name);
+  }
+  if (name == "CF-12" || name == "CF-12-Flex") {
+    return Rewrap<CuckooFilter12>(payload, payload_len, name);
+  }
+  if (name == "CF-16" || name == "CF-16-Flex") {
+    return Rewrap<CuckooFilter16>(payload, payload_len, name);
+  }
+  if (name == "TC") return Rewrap<TwoChoicer>(payload, payload_len, name);
+  if (name == "QF") return Rewrap<QuotientFilter>(payload, payload_len, name);
+  if (name == "PF[BBF-Flex]") {
+    return Rewrap<PrefixFilter<SpareBbfTraits>>(payload, payload_len, name);
+  }
+  if (name == "PF[CF12-Flex]") {
+    return Rewrap<PrefixFilter<SpareCf12Traits>>(payload, payload_len, name);
+  }
+  if (name == "PF[TC]") {
+    return Rewrap<PrefixFilter<SpareTcTraits>>(payload, payload_len, name);
+  }
+  if (ShardedFilterOptions parsed; ShardedFilter::ParseName(name, &parsed)) {
+    return ShardedFilter::DeserializePayload(payload, payload_len, parsed);
+  }
+  return nullptr;
 }
 
 }  // namespace prefixfilter

@@ -1,12 +1,14 @@
 // Type-erased filter interface and by-name factory.
 //
 // The benchmarks use concrete filter types (templates, no virtual dispatch
-// in timing loops); the examples and the LSM substrate want to switch filter
-// implementations at run time.  AnyFilter wraps every filter in this library
-// behind a uniform incremental-filter interface.
+// in timing loops); the examples, the LSM substrate, and the sharded filter
+// service want to switch filter implementations at run time.  AnyFilter
+// wraps every filter in this library behind a uniform incremental-filter
+// interface, including batched queries and a name-tagged wire format.
 #ifndef PREFIXFILTER_SRC_CORE_FILTER_FACTORY_H_
 #define PREFIXFILTER_SRC_CORE_FILTER_FACTORY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,21 +25,65 @@ class AnyFilter {
   // Returns false iff the filter failed to absorb the key.
   virtual bool Insert(uint64_t key) = 0;
   virtual bool Contains(uint64_t key) const = 0;
+
+  // Batched membership: out[i] = 1 if keys[i] may be present, else 0.
+  // Implementations with a prefetching batch path (the prefix filter, the
+  // sharded filter) override this; the default is a scalar loop.
+  virtual void ContainsBatch(const uint64_t* keys, size_t count,
+                             uint8_t* out) const {
+    for (size_t i = 0; i < count; ++i) out[i] = Contains(keys[i]) ? 1 : 0;
+  }
+
+  // Appends a self-describing snapshot (envelope: magic + factory name +
+  // payload) that DeserializeFilter() can restore without knowing the
+  // concrete type.  Returns false iff this filter has no wire format.
+  virtual bool SerializeTo(std::vector<uint8_t>* out) const = 0;
+
   virtual size_t SpaceBytes() const = 0;
   virtual uint64_t Capacity() const = 0;
   virtual std::string Name() const = 0;
 };
 
 // Constructs a filter by configuration name for up to `capacity` keys.
-// Known names: "BF-8", "BF-12", "BF-16", "BBF", "BBF-Flex", "CF-8",
-// "CF-8-Flex", "CF-12", "CF-12-Flex", "CF-16", "CF-16-Flex", "TC", "QF",
-// "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]".  Returns nullptr for unknown
-// names.
+//
+// Accepted names (KnownFilterNames() is the authoritative list; every entry
+// below is spelled exactly as MakeFilter() matches it):
+//   Bloom family:  "BF-8", "BF-12", "BF-16", "BBF", "BBF-Flex"
+//   Cuckoo family: "CF-8", "CF-8-Flex", "CF-12", "CF-12-Flex", "CF-16",
+//                  "CF-16-Flex"
+//   Others:        "TC", "QF"
+//   Prefix filter: "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]"
+//   Sharded:       "SHARD<n>[<inner>]" for any power-of-two n <= 4096 and
+//                  accepted non-sharded inner name, e.g. "SHARD16[PF[TC]]"
+//                  (hash-partitioned over n independently-locked shards;
+//                  see src/service/).
+// The prefix-filter spare tag "CF12-Flex" (no dash, the spare's own Name())
+// intentionally differs from the standalone "CF-12-Flex"; the alias
+// "PF[CF-12-Flex]" is accepted and canonicalized to "PF[CF12-Flex]".
+// Returns nullptr for unknown names.
 std::unique_ptr<AnyFilter> MakeFilter(const std::string& name,
                                       uint64_t capacity, uint64_t seed = 42);
 
-// All configuration names MakeFilter understands, in Table 3 order.
+// All configuration names MakeFilter understands, in Table 3 order, plus the
+// sharded-service configurations (aliases omitted).
 std::vector<std::string> KnownFilterNames();
+
+// Maps accepted alias spellings to the canonical name MakeFilter stores and
+// snapshots are tagged with (currently "PF[CF-12-Flex]" -> "PF[CF12-Flex]");
+// canonical names pass through unchanged.
+std::string CanonicalFilterName(const std::string& name);
+
+// Restores a filter from an AnyFilter::SerializeTo image.  Returns nullptr
+// on unknown names, corrupted headers, or payload/type mismatches.
+std::unique_ptr<AnyFilter> DeserializeFilter(const uint8_t* data, size_t len);
+
+// Every AnyFilter snapshot starts with this envelope: magic, format version,
+// then the length-prefixed factory configuration name, then the concrete
+// filter's own payload.  Exposed for implementations (e.g. ShardedFilter)
+// that write their envelope themselves.
+inline constexpr uint32_t kAnyFilterMagic = 0x50464145;  // "PFAE"
+void WriteFilterEnvelope(const std::string& factory_name,
+                         std::vector<uint8_t>* out);
 
 }  // namespace prefixfilter
 

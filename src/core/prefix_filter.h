@@ -123,21 +123,15 @@ class PrefixFilter {
   // resolves within one cache line (Theorem 2(3)), issuing the bin loads for
   // a whole chunk before resolving any of them overlaps the misses that a
   // one-at-a-time loop would serialize.  Results are written to out[0..n).
+  //
+  // The uint8_t overload (0/1 results) is the canonical one: callers batching
+  // into byte buffers (tests, benches, the service BatchRouter) use it
+  // directly instead of aliasing a byte buffer as bool*.
+  void ContainsBatch(const uint64_t* keys, size_t count, uint8_t* out) const {
+    ContainsBatchImpl(keys, count, out);
+  }
   void ContainsBatch(const uint64_t* keys, size_t count, bool* out) const {
-    constexpr size_t kChunk = 16;
-    uint64_t hashes[kChunk];
-    uint64_t bins[kChunk];
-    for (size_t base = 0; base < count; base += kChunk) {
-      const size_t chunk = std::min(kChunk, count - base);
-      for (size_t i = 0; i < chunk; ++i) {
-        hashes[i] = hash_(keys[base + i]);
-        bins[i] = HashParts::Bin(hashes[i], num_bins_);
-        __builtin_prefetch(&bins_[bins[i]], 0, 1);
-      }
-      for (size_t i = 0; i < chunk; ++i) {
-        out[base + i] = ContainsHashed(hashes[i], bins[i]);
-      }
-    }
+    ContainsBatchImpl(keys, count, out);
   }
 
   uint64_t size() const { return stats_.inserts; }
@@ -232,6 +226,24 @@ class PrefixFilter {
   }
 
  private:
+  template <typename Out>
+  void ContainsBatchImpl(const uint64_t* keys, size_t count, Out* out) const {
+    constexpr size_t kChunk = 16;
+    uint64_t hashes[kChunk];
+    uint64_t bins[kChunk];
+    for (size_t base = 0; base < count; base += kChunk) {
+      const size_t chunk = std::min(kChunk, count - base);
+      for (size_t i = 0; i < chunk; ++i) {
+        hashes[i] = hash_(keys[base + i]);
+        bins[i] = HashParts::Bin(hashes[i], num_bins_);
+        __builtin_prefetch(&bins_[bins[i]], 0, 1);
+      }
+      for (size_t i = 0; i < chunk; ++i) {
+        out[base + i] = static_cast<Out>(ContainsHashed(hashes[i], bins[i]));
+      }
+    }
+  }
+
   bool ContainsHashed(uint64_t h, uint64_t b) const {
     const int q = static_cast<int>(HashParts::Quotient(h, kNumLists));
     const uint8_t r = HashParts::Remainder(h);

@@ -6,14 +6,59 @@
 
 namespace prefixfilter {
 
+uint64_t QuotientFilter::NumSlots(uint64_t capacity) {
+  return NextPow2(std::max<uint64_t>(
+      16, static_cast<uint64_t>(std::ceil(capacity / kMaxLoadFactor))));
+}
+
 QuotientFilter::QuotientFilter(uint64_t capacity, uint64_t seed)
     : capacity_(capacity),
-      num_slots_(NextPow2(std::max<uint64_t>(
-          16, static_cast<uint64_t>(
-                  std::ceil(capacity / kMaxLoadFactor))))),
+      num_slots_(NumSlots(capacity)),
       slot_mask_(num_slots_ - 1),
       slots_(num_slots_),
-      hash_(seed) {}
+      hash_(seed),
+      seed_(seed) {}
+
+void QuotientFilter::SerializeTo(std::vector<uint8_t>* out) const {
+  ByteWriter w(out);
+  w.U32(kMagic);
+  w.U8(1);
+  w.U64(capacity_);
+  w.U64(seed_);
+  w.U64(size_);
+  w.Raw(slots_.data(), slots_.SizeBytes());
+}
+
+std::optional<QuotientFilter> QuotientFilter::Deserialize(const uint8_t* data,
+                                                          size_t len) {
+  ByteReader r(data, len);
+  if (r.U32() != kMagic || r.U8() != 1) return std::nullopt;
+  const uint64_t capacity = r.U64();
+  const uint64_t seed = r.U64();
+  const uint64_t size = r.U64();
+  // The capacity ceiling rejects crafted fields before the slot-count math
+  // (whose double->uint64 cast and NextPow2 shift are undefined near 2^63).
+  if (!r.ok() || capacity == 0 || capacity > (uint64_t{1} << 48)) {
+    return std::nullopt;
+  }
+  // Geometry check before allocating: the slot table is determined by the
+  // capacity, and the payload must hold exactly that table.
+  const uint64_t slots = NumSlots(capacity);
+  if (RoundUpToCacheLine(slots * sizeof(uint16_t)) != r.remaining()) {
+    return std::nullopt;
+  }
+  // size_ gates Insert's load-factor guard; a crafted value must not unlock
+  // insertion into a table that is actually full.
+  if (size > static_cast<uint64_t>(slots * kMaxLoadFactor)) {
+    return std::nullopt;
+  }
+  QuotientFilter f(capacity, seed);
+  if (!r.Raw(f.slots_.data(), f.slots_.SizeBytes()) || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  f.size_ = size;
+  return f;
+}
 
 QuotientFilter::Fingerprint QuotientFilter::Split(uint64_t key) const {
   const uint64_t h = hash_(key);
@@ -28,16 +73,29 @@ QuotientFilter::Fingerprint QuotientFilter::Split(uint64_t key) const {
 
 uint64_t QuotientFilter::FindRunStart(uint64_t fq) const {
   // Walk left to the start of the cluster (first unshifted slot), then walk
-  // right matching run starts with occupied canonical slots.
+  // right matching run starts with occupied canonical slots.  Every walk is
+  // budgeted: on a well-formed table each of the three cursors advances
+  // monotonically, bounding the combined walk below 3*num_slots_ even when
+  // one cluster spans nearly the whole table, so exhausting the budget
+  // proves the metadata invariants are broken (e.g. a corrupted snapshot
+  // whose every slot carries the shifted bit) — return the canonical slot
+  // rather than ring-walking forever.  Callers then read garbage
+  // remainders, which the filter contract tolerates; hanging is not.
+  uint64_t budget = 3 * num_slots_ + 2;
   uint64_t b = fq;
-  while (slots_[b] & kShifted) b = Prev(b);
+  while (slots_[b] & kShifted) {
+    b = Prev(b);
+    if (budget-- == 0) return fq;
+  }
   uint64_t s = b;
   while (b != fq) {
     do {
       s = Next(s);
+      if (budget-- == 0) return fq;
     } while (slots_[s] & kContinuation);
     do {
       b = Next(b);
+      if (budget-- == 0) return fq;
     } while (!(slots_[b] & kOccupied));
   }
   return s;
@@ -66,15 +124,18 @@ bool QuotientFilter::Insert(uint64_t key) {
   if (run_exists) {
     // Keep the run sorted: advance within the run while remainders are
     // smaller.  Duplicate remainders are stored once (idempotent insert).
+    // Budgeted like FindRunStart: a run cannot legally span the whole table.
+    uint64_t budget = num_slots_;
     do {
       const uint16_t rem = Remainder(s);
       if (rem == fp.remainder) {
-        ++size_;
+        // Idempotent: nothing stored, so nothing added to the load
+        // accounting the full-table guard (and persisted size_) relies on.
         return true;
       }
       if (rem > fp.remainder) break;
       s = Next(s);
-    } while (slots_[s] & kContinuation);
+    } while ((slots_[s] & kContinuation) && --budget > 0);
   }
 
   // Insert at position s, shifting the remainder chain right up to the next
@@ -87,12 +148,19 @@ bool QuotientFilter::Insert(uint64_t key) {
   uint64_t i = s;
   uint16_t incoming = new_entry;
   bool displaced_was_run_start = run_exists && s == run_start;
-  while (true) {
+  // The load-factor guard above leaves empty slots on a well-formed table;
+  // the budget only trips on corrupted metadata (restored snapshots), where
+  // failing the insert beats shifting around the ring forever.
+  bool placed = false;
+  for (uint64_t budget = num_slots_; budget > 0; --budget) {
     const bool slot_empty = IsEmptySlot(i);
     const uint16_t old_entry = slots_[i];
     slots_[i] = static_cast<uint16_t>((old_entry & kOccupied) |
                                       (incoming & ~kOccupied));
-    if (slot_empty) break;
+    if (slot_empty) {
+      placed = true;
+      break;
+    }
     // The displaced element moves one slot right: it is now shifted, and if
     // it headed its run it becomes a continuation of the inserted element.
     incoming = static_cast<uint16_t>((old_entry & ~kOccupied) | kShifted);
@@ -102,6 +170,7 @@ bool QuotientFilter::Insert(uint64_t key) {
     }
     i = Next(i);
   }
+  if (!placed) return false;  // corrupted table: no empty slot in the ring
   ++size_;
   return true;
 }
@@ -110,12 +179,13 @@ bool QuotientFilter::Contains(uint64_t key) const {
   const Fingerprint fp = Split(key);
   if (!(slots_[fp.quotient] & kOccupied)) return false;
   uint64_t s = FindRunStart(fp.quotient);
+  uint64_t budget = num_slots_;  // terminates on corrupted metadata
   do {
     const uint16_t rem = Remainder(s);
     if (rem == fp.remainder) return true;
     if (rem > fp.remainder) return false;  // runs are sorted
     s = Next(s);
-  } while (slots_[s] & kContinuation);
+  } while ((slots_[s] & kContinuation) && --budget > 0);
   return false;
 }
 

@@ -15,10 +15,13 @@
 #define PREFIXFILTER_SRC_FILTERS_QUOTIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/util/aligned.h"
 #include "src/util/hash.h"
+#include "src/util/serialize.h"
 
 namespace prefixfilter {
 
@@ -38,6 +41,14 @@ class QuotientFilter {
   uint64_t capacity() const { return capacity_; }
   size_t SpaceBytes() const { return slots_.SizeBytes(); }
   std::string Name() const { return "QF"; }
+
+  // --- persistence ----------------------------------------------------------
+
+  static constexpr uint32_t kMagic = 0x50465146;  // "PFQF"
+
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  static std::optional<QuotientFilter> Deserialize(const uint8_t* data,
+                                                   size_t len);
 
  private:
   static constexpr uint16_t kOccupied = 1 << 0;
@@ -64,11 +75,16 @@ class QuotientFilter {
   // have its occupied bit set).
   uint64_t FindRunStart(uint64_t fq) const;
 
+  // Single source of truth for the capacity -> slot-count geometry, shared
+  // by the constructor and Deserialize (which must agree byte-for-byte).
+  static uint64_t NumSlots(uint64_t capacity);
+
   uint64_t capacity_;
   uint64_t num_slots_;
   uint64_t slot_mask_;
   AlignedBuffer<uint16_t> slots_;
   Dietzfelbinger64 hash_;
+  uint64_t seed_;
   uint64_t size_ = 0;
 };
 

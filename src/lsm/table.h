@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/lsm/run.h"
+#include "src/service/filter_service.h"
 
 namespace prefixfilter::lsm {
 
@@ -25,6 +26,17 @@ struct TableOptions {
   size_t memtable_entries = 64 * 1024;  // seal threshold
   std::string filter_name = "PF[TC]";   // filter per run ("" = none)
   uint64_t seed = 0x15a7ab1eu;
+  // Optional shared membership service: when set, every sealed run's keys
+  // are batch-inserted into the service's sharded filter, and Get consults
+  // it as a table-level gate before probing any run (one sharded-filter
+  // query saves a whole newest-to-oldest run walk for absent keys), while
+  // MultiGet batches the gate through the service queue.  The service's
+  // filter must be provisioned for the table's total key volume (duplicate
+  // Puts of a key across memtables re-insert it); if it ever fails to absorb
+  // a key the table stops consulting it — correctness (no lost keys) is
+  // preserved, only the shortcut is lost.  The service may be shared by many
+  // tables or other clients.
+  std::shared_ptr<FilterService> filter_service;
 };
 
 class Table {
@@ -33,6 +45,12 @@ class Table {
 
   void Put(uint64_t key, uint64_t value);
   std::optional<uint64_t> Get(uint64_t key) const;
+
+  // Batched point lookups (results positionally parallel to `keys`).  With a
+  // filter_service configured, the table-level gate for the whole batch is
+  // one QueryBatch round-trip through the service's shard-routing path.
+  std::vector<std::optional<uint64_t>> MultiGet(
+      const std::vector<uint64_t>& keys) const;
 
   // Seals the current memtable into a run (no-op when empty).
   void Flush();
@@ -50,10 +68,16 @@ class Table {
   uint64_t FutileAccesses() const;
 
  private:
+  // True while the shared service filter can be trusted as a gate (set to
+  // false forever if it ever fails to absorb a key: a key missing from the
+  // filter would otherwise read as a false negative and lose the key).
+  bool ServiceGateUsable() const;
+
   TableOptions options_;
   std::map<uint64_t, uint64_t> memtable_;
   std::vector<std::unique_ptr<Run>> runs_;  // newest last
   uint64_t run_counter_ = 0;
+  bool service_filter_ok_ = true;
 };
 
 }  // namespace prefixfilter::lsm

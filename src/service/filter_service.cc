@@ -1,0 +1,164 @@
+#include "src/service/filter_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prefixfilter {
+
+FilterService::FilterService(std::shared_ptr<ShardedFilter> filter,
+                             FilterServiceOptions options)
+    : filter_(std::move(filter)),
+      num_threads_(options.num_threads),
+      max_pending_(std::max<size_t>(1, options.max_pending)) {
+  workers_.reserve(num_threads_);
+  for (uint32_t t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+FilterService::~FilterService() { Stop(); }
+
+std::future<uint64_t> FilterService::InsertBatch(std::vector<uint64_t> keys) {
+  Request request;
+  request.is_insert = true;
+  request.keys = std::move(keys);
+  std::future<uint64_t> result = request.insert_result.get_future();
+  Enqueue(std::move(request));
+  return result;
+}
+
+std::future<std::vector<uint8_t>> FilterService::QueryBatch(
+    std::vector<uint64_t> keys) {
+  Request request;
+  request.is_insert = false;
+  request.keys = std::move(keys);
+  std::future<std::vector<uint8_t>> result =
+      request.query_result.get_future();
+  Enqueue(std::move(request));
+  return result;
+}
+
+void FilterService::Enqueue(Request request) {
+  if (num_threads_ == 0) {
+    Execute(request);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // The pool is gone; degrade to synchronous execution rather than
+      // dropping the batch or deadlocking the submitter.
+      lock.unlock();
+      Execute(request);
+      return;
+    }
+    queue_nonfull_.wait(lock, [this]() {
+      return stopping_ || queue_.size() < max_pending_;
+    });
+    if (stopping_) {
+      lock.unlock();
+      Execute(request);
+      return;
+    }
+    queue_.push_back(std::move(request));
+  }
+  queue_nonempty_.notify_one();
+}
+
+void FilterService::Execute(Request& request) {
+  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  if (request.is_insert) {
+    const uint64_t failures =
+        filter_->InsertBatch(request.keys.data(), request.keys.size());
+    insert_batches_.fetch_add(1, std::memory_order_relaxed);
+    keys_inserted_.fetch_add(request.keys.size(), std::memory_order_relaxed);
+    insert_failures_.fetch_add(failures, std::memory_order_relaxed);
+    request.insert_result.set_value(failures);
+  } else {
+    std::vector<uint8_t> out(request.keys.size());
+    filter_->ContainsBatch(request.keys.data(), request.keys.size(),
+                           out.data());
+    query_batches_.fetch_add(1, std::memory_order_relaxed);
+    keys_queried_.fetch_add(request.keys.size(), std::memory_order_relaxed);
+    request.query_result.set_value(std::move(out));
+  }
+}
+
+void FilterService::WorkerLoop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_nonempty_.wait(lock,
+                           [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    queue_nonfull_.notify_one();
+    Execute(request);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void FilterService::Drain() {
+  if (num_threads_ == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+}
+
+bool FilterService::Snapshot(std::vector<uint8_t>* out) {
+  Drain();
+  // Exclusive against Execute: a batch racing the serialization would
+  // otherwise be acknowledged yet only partially captured (its keys in
+  // already-serialized shards silently dropped — false negatives after
+  // Restore).  Held only for the serialization itself.
+  std::unique_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  return filter_->SerializeTo(out);
+}
+
+std::shared_ptr<ShardedFilter> FilterService::Restore(const uint8_t* data,
+                                                      size_t len) {
+  std::unique_ptr<AnyFilter> any = DeserializeFilter(data, len);
+  auto* sharded = dynamic_cast<ShardedFilter*>(any.get());
+  if (sharded == nullptr) return nullptr;
+  any.release();
+  return std::shared_ptr<ShardedFilter>(sharded);
+}
+
+FilterServiceStats FilterService::stats() const {
+  FilterServiceStats s;
+  s.insert_batches = insert_batches_.load(std::memory_order_relaxed);
+  s.query_batches = query_batches_.load(std::memory_order_relaxed);
+  s.keys_inserted = keys_inserted_.load(std::memory_order_relaxed);
+  s.keys_queried = keys_queried_.load(std::memory_order_relaxed);
+  s.insert_failures = insert_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FilterService::Stop() {
+  {
+    // Idempotent: on a second call workers_ is already empty and the joins
+    // below are no-ops.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_nonfull_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Workers exit only once the queue is empty, so every accepted batch has
+  // completed by the time Stop() returns.
+}
+
+}  // namespace prefixfilter

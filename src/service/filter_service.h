@@ -1,0 +1,138 @@
+// Thread-pool front-end over a ShardedFilter: the membership service the
+// ROADMAP's north star asks for (many clients, batched traffic, async).
+//
+// Clients submit whole batches (the unit the paper's evaluation §7.3 uses)
+// and receive std::futures; a fixed pool of workers drains an MPMC request
+// queue, executing each batch through a per-worker BatchRouter so every
+// batch pays one lock acquisition per touched shard and rides the
+// prefetching ContainsBatch path inside each shard.
+//
+// Backpressure: the queue is bounded (options.max_pending); submitters block
+// until a worker frees a slot, so a burst of clients cannot grow the queue
+// without bound.  num_threads == 0 configures a synchronous service (batches
+// execute on the submitting thread) — useful for tests and single-core
+// deployments.
+//
+// Snapshot/restore: Snapshot() drains in-flight work and serializes the
+// whole sharded filter through the AnyFilter envelope (ByteWriter wire
+// format); Restore() is the inverse.  The snapshot is a plain byte vector:
+// persist it next to your data like an LSM run's filter block (§1).
+#ifndef PREFIXFILTER_SRC_SERVICE_FILTER_SERVICE_H_
+#define PREFIXFILTER_SRC_SERVICE_FILTER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/service/sharded_filter.h"
+
+namespace prefixfilter {
+
+struct FilterServiceOptions {
+  // Worker threads draining the request queue; 0 = synchronous execution on
+  // the submitting thread.
+  uint32_t num_threads = 4;
+  // Bound on queued (not yet executing) requests; submitters block past it.
+  size_t max_pending = 4096;
+};
+
+// Service-level counters (per-shard counters live in ShardedFilter).
+struct FilterServiceStats {
+  uint64_t insert_batches = 0;
+  uint64_t query_batches = 0;
+  uint64_t keys_inserted = 0;
+  uint64_t keys_queried = 0;
+  uint64_t insert_failures = 0;
+};
+
+class FilterService {
+ public:
+  explicit FilterService(std::shared_ptr<ShardedFilter> filter,
+                         FilterServiceOptions options = {});
+  ~FilterService();
+
+  FilterService(const FilterService&) = delete;
+  FilterService& operator=(const FilterService&) = delete;
+
+  // Enqueues a batch insertion; the future yields the number of keys the
+  // filter failed to absorb (0 on full success).
+  std::future<uint64_t> InsertBatch(std::vector<uint64_t> keys);
+
+  // Enqueues a batch query; the future yields one 0/1 byte per key, in the
+  // order submitted.
+  std::future<std::vector<uint8_t>> QueryBatch(std::vector<uint64_t> keys);
+
+  // Synchronous single-key fast path (bypasses the queue; safe concurrently
+  // with batch traffic — shard locks serialize).
+  bool Contains(uint64_t key) const { return filter_->Contains(key); }
+
+  // Blocks until every previously submitted batch has completed.
+  void Drain();
+
+  // Drains, then appends a restorable snapshot of all shards, holding a
+  // service-wide write exclusion while serializing so every batch whose
+  // future resolved before the call is fully in the image (batches submitted
+  // concurrently land entirely before or entirely after it — never half).
+  // Returns false if any shard lacks a wire format.
+  bool Snapshot(std::vector<uint8_t>* out);
+
+  // Restores the sharded filter from a Snapshot() image (nullptr on
+  // corruption or non-sharded images); wrap it in a new FilterService.
+  static std::shared_ptr<ShardedFilter> Restore(const uint8_t* data,
+                                                size_t len);
+
+  const ShardedFilter& filter() const { return *filter_; }
+  uint32_t num_threads() const { return num_threads_; }
+  FilterServiceStats stats() const;
+
+  // Completes queued work and joins the workers.  Idempotent; batches
+  // submitted after Stop() execute synchronously.
+  void Stop();
+
+ private:
+  struct Request {
+    bool is_insert = false;
+    std::vector<uint64_t> keys;
+    std::promise<uint64_t> insert_result;
+    std::promise<std::vector<uint8_t>> query_result;
+  };
+
+  void Enqueue(Request request);
+  void Execute(Request& request);
+  void WorkerLoop();
+
+  std::shared_ptr<ShardedFilter> filter_;
+  uint32_t num_threads_;
+  size_t max_pending_;
+
+  // Batch execution takes this shared; Snapshot takes it exclusive while
+  // serializing.  Direct filter() access bypasses it by design (shard locks
+  // still make such access safe, just not snapshot-atomic).
+  mutable std::shared_mutex snapshot_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_nonfull_;
+  std::condition_variable idle_;
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> insert_batches_{0};
+  std::atomic<uint64_t> query_batches_{0};
+  std::atomic<uint64_t> keys_inserted_{0};
+  std::atomic<uint64_t> keys_queried_{0};
+  std::atomic<uint64_t> insert_failures_{0};
+};
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_SERVICE_FILTER_SERVICE_H_

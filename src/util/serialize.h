@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace prefixfilter {
@@ -25,6 +26,12 @@ class ByteWriter {
   void Raw(const void* data, size_t len) {
     const uint8_t* p = static_cast<const uint8_t*>(data);
     out_->insert(out_->end(), p, p + len);
+  }
+  // Length-prefixed string (u32 length + bytes), used by the type-erased
+  // filter envelope to tag payloads with their factory configuration name.
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
   }
 
  private:
@@ -64,6 +71,30 @@ class ByteReader {
       return false;
     }
     std::memcpy(out, p_, len);
+    p_ += len;
+    remaining_ -= len;
+    return true;
+  }
+
+  // Length-prefixed string.  Lengths beyond `max_len` (or the remaining
+  // payload) poison the reader instead of allocating attacker-chosen sizes.
+  std::string Str(size_t max_len = 4096) {
+    const uint32_t len = U32();
+    if (!ok_ || len > max_len || len > remaining_) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(len, '\0');
+    Raw(s.data(), len);
+    return s;
+  }
+
+  // Advances past `len` bytes (e.g. a nested blob handed to another reader).
+  bool Skip(size_t len) {
+    if (!ok_ || remaining_ < len) {
+      ok_ = false;
+      return false;
+    }
     p_ += len;
     remaining_ -= len;
     return true;

@@ -21,8 +21,7 @@ TEST(BatchQuery, AgreesWithScalarQueries) {
   for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i % n];
 
   std::vector<uint8_t> batch(stream.size());
-  pf.ContainsBatch(stream.data(), stream.size(),
-                   reinterpret_cast<bool*>(batch.data()));
+  pf.ContainsBatch(stream.data(), stream.size(), batch.data());
   for (size_t i = 0; i < stream.size(); ++i) {
     ASSERT_EQ(static_cast<bool>(batch[i]), pf.Contains(stream[i]))
         << "index " << i;
@@ -39,10 +38,9 @@ TEST(BatchQuery, HandlesOddSizes) {
     std::vector<uint64_t> stream(keys.begin(),
                                  keys.begin() + static_cast<long>(count));
     std::vector<uint8_t> out(count + 1, 0xcc);
-    pf.ContainsBatch(stream.data(), count,
-                     reinterpret_cast<bool*>(out.data()));
+    pf.ContainsBatch(stream.data(), count, out.data());
     for (size_t i = 0; i < count; ++i) {
-      EXPECT_TRUE(out[i]) << "count=" << count << " i=" << i;
+      EXPECT_EQ(out[i], 1) << "count=" << count << " i=" << i;
     }
     EXPECT_EQ(out[count], 0xcc) << "wrote past the end";
   }
@@ -54,8 +52,7 @@ TEST(BatchQuery, NoFalseNegativesAtFullLoad) {
   PrefixFilter<SpareBbfTraits> pf(n);
   for (uint64_t k : keys) ASSERT_TRUE(pf.Insert(k));
   std::vector<uint8_t> out(keys.size());
-  pf.ContainsBatch(keys.data(), keys.size(),
-                   reinterpret_cast<bool*>(out.data()));
+  pf.ContainsBatch(keys.data(), keys.size(), out.data());
   for (size_t i = 0; i < keys.size(); ++i) ASSERT_TRUE(out[i]);
 }
 

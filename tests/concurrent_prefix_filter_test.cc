@@ -68,6 +68,35 @@ TEST(ConcurrentPrefixFilter, ConcurrentReadersDuringWrites) {
   for (uint64_t k : keys) ASSERT_TRUE(pf.Contains(k));
 }
 
+TEST(ConcurrentPrefixFilter, SpareShardCountIsConfigurable) {
+  const uint64_t n = 100000;
+  const auto keys = RandomKeys(n, 167);
+  // Defaults preserved; explicit counts respected; non-powers-of-two round
+  // up to the next power of two (the shard selector masks).
+  ConcurrentPrefixFilter<SpareCf12Traits> def(n);
+  EXPECT_EQ(def.spare_shards(), 16u);
+  ConcurrentPrefixFilter<SpareCf12Traits> rounded(n, 0.95, 168, 5);
+  EXPECT_EQ(rounded.spare_shards(), 8u);
+  for (uint32_t shards : {1u, 4u, 64u}) {
+    ConcurrentPrefixFilter<SpareCf12Traits> pf(n, 0.95, 169 + shards, shards);
+    ASSERT_EQ(pf.spare_shards(), shards);
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> failures{0};
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t]() {
+        for (uint64_t i = t; i < n; i += 2) {
+          if (!pf.Insert(keys[i])) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0u) << "shards=" << shards;
+    for (uint64_t k : keys) {
+      ASSERT_TRUE(pf.Contains(k)) << "shards=" << shards;
+    }
+  }
+}
+
 TEST(ConcurrentPrefixFilter, FprComparableToSequential) {
   const uint64_t n = 1 << 17;
   const auto keys = RandomKeys(n, 165);

@@ -1,0 +1,195 @@
+// Tests for the thread-pool filter service: futures, concurrent clients,
+// backpressure-safe shutdown, stats, snapshot/restore, and the LSM table's
+// shared-service integration.
+#include "src/service/filter_service.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/lsm/table.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+std::shared_ptr<ShardedFilter> MakeSharded(uint64_t capacity, uint64_t seed,
+                                           uint32_t shards = 16) {
+  ShardedFilterOptions options;
+  options.num_shards = shards;
+  options.seed = seed;
+  auto filter = ShardedFilter::Make(capacity, options);
+  EXPECT_NE(filter, nullptr);
+  return std::shared_ptr<ShardedFilter>(filter.release());
+}
+
+TEST(FilterService, InsertAndQueryBatchesThroughFutures) {
+  const uint64_t n = 100000;
+  FilterService service(MakeSharded(n, 191), {});
+  const auto keys = RandomKeys(n, 192);
+
+  std::vector<std::future<uint64_t>> inserts;
+  const size_t batch = 10000;
+  for (size_t base = 0; base < keys.size(); base += batch) {
+    inserts.push_back(service.InsertBatch(std::vector<uint64_t>(
+        keys.begin() + base, keys.begin() + base + batch)));
+  }
+  for (auto& f : inserts) EXPECT_EQ(f.get(), 0u);
+
+  // Mixed stream: even positions positive, odd almost-surely negative.
+  std::vector<uint64_t> stream = RandomKeys(50000, 193);
+  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i % n];
+  auto result = service.QueryBatch(stream).get();
+  ASSERT_EQ(result.size(), 50000u);
+  uint64_t negatives_hit = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(result[i], 1) << "false negative at " << i;
+    } else {
+      negatives_hit += result[i];
+    }
+  }
+  // Negative half: false positives only, at roughly the backend's rate.
+  EXPECT_LT(negatives_hit, result.size() / 2 / 50);
+
+  const FilterServiceStats stats = service.stats();
+  EXPECT_EQ(stats.insert_batches, n / batch);
+  EXPECT_EQ(stats.keys_inserted, n);
+  EXPECT_EQ(stats.query_batches, 1u);
+  EXPECT_EQ(stats.keys_queried, 50000u);
+  EXPECT_EQ(stats.insert_failures, 0u);
+}
+
+TEST(FilterService, ManyConcurrentClients) {
+  const uint64_t n = 160000;
+  FilterService service(MakeSharded(n, 194),
+                        FilterServiceOptions{/*num_threads=*/3,
+                                             /*max_pending=*/8});
+  const auto keys = RandomKeys(n, 195);
+  constexpr int kClients = 4;
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      // Each client owns an interleaved slice and submits it in batches.
+      std::vector<uint64_t> mine;
+      for (uint64_t i = c; i < n; i += kClients) mine.push_back(keys[i]);
+      const size_t batch = 1000;
+      for (size_t base = 0; base < mine.size(); base += batch) {
+        const size_t count = std::min(batch, mine.size() - base);
+        failures += service
+                        .InsertBatch(std::vector<uint64_t>(
+                            mine.begin() + base, mine.begin() + base + count))
+                        .get();
+      }
+      // Immediately read back through the query path.
+      auto result = service.QueryBatch(mine).get();
+      for (uint8_t b : result) {
+        if (!b) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(service.stats().keys_inserted, n);
+}
+
+TEST(FilterService, SynchronousModeWorksWithoutThreads) {
+  const uint64_t n = 20000;
+  FilterService service(MakeSharded(n, 196),
+                        FilterServiceOptions{/*num_threads=*/0,
+                                             /*max_pending=*/1});
+  const auto keys = RandomKeys(n, 197);
+  EXPECT_EQ(service.InsertBatch(keys).get(), 0u);
+  auto result = service.QueryBatch(keys).get();
+  for (uint8_t b : result) ASSERT_TRUE(b);
+}
+
+TEST(FilterService, SubmitAfterStopDegradesToSynchronous) {
+  const uint64_t n = 10000;
+  FilterService service(MakeSharded(n, 198), {});
+  const auto keys = RandomKeys(n, 199);
+  EXPECT_EQ(service.InsertBatch(keys).get(), 0u);
+  service.Stop();
+  auto result = service.QueryBatch(keys).get();
+  for (uint8_t b : result) ASSERT_TRUE(b);
+}
+
+TEST(FilterService, SnapshotRestoreRoundTrip) {
+  const uint64_t n = 60000;
+  FilterService service(MakeSharded(n, 200, /*shards=*/8), {});
+  const auto keys = RandomKeys(n, 201);
+  EXPECT_EQ(service.InsertBatch(keys).get(), 0u);
+
+  std::vector<uint8_t> snapshot;
+  ASSERT_TRUE(service.Snapshot(&snapshot));
+  auto restored = FilterService::Restore(snapshot.data(), snapshot.size());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->Name(), service.filter().Name());
+
+  FilterService revived(restored, {});
+  auto result = revived.QueryBatch(keys).get();
+  for (uint8_t b : result) ASSERT_TRUE(b);
+  // The restored filter answers probes identically (same hash seeds).
+  const auto probes = RandomKeys(100000, 202);
+  for (uint64_t k : probes) {
+    ASSERT_EQ(revived.Contains(k), service.Contains(k));
+  }
+  // Restore rejects non-sharded images.
+  auto single = MakeFilter("PF[TC]", 1000, 1);
+  std::vector<uint8_t> single_bytes;
+  ASSERT_TRUE(single->SerializeTo(&single_bytes));
+  EXPECT_EQ(FilterService::Restore(single_bytes.data(), single_bytes.size()),
+            nullptr);
+}
+
+TEST(FilterService, LsmTableUsesSharedServiceAsGate) {
+  const uint64_t n = 40000;
+  auto service = std::make_shared<FilterService>(
+      MakeSharded(n * 2, 203), FilterServiceOptions{/*num_threads=*/2,
+                                                    /*max_pending=*/64});
+  lsm::TableOptions options;
+  options.memtable_entries = 4096;
+  options.filter_service = service;
+  lsm::Table table(options);
+
+  const auto keys = RandomKeys(n, 204);
+  for (uint64_t i = 0; i < n; ++i) table.Put(keys[i], i);
+  table.Flush();
+  ASSERT_GT(table.NumRuns(), 1u);
+
+  // Every written key readable; the service saw every sealed key.
+  for (uint64_t i = 0; i < n; i += 7) {
+    auto v = table.Get(keys[i]);
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(service->stats().keys_inserted, n);
+
+  // Absent keys short-circuit at the table gate: data accesses stay flat.
+  const uint64_t accesses_before = table.DataAccesses();
+  const auto probes = RandomKeys(20000, 205);
+  uint64_t found = 0;
+  for (uint64_t k : probes) found += table.Get(k).has_value();
+  EXPECT_EQ(found, 0u);
+  const uint64_t futile = table.DataAccesses() - accesses_before;
+  // Without the gate every probe would walk every run's filter and a few FPs
+  // per run would reach the data; with it only global FPs do.
+  EXPECT_LT(futile, probes.size() / 100);
+
+  // MultiGet agrees with Get on a mixed stream.
+  std::vector<uint64_t> stream(probes.begin(), probes.begin() + 1000);
+  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i * 3 % n];
+  const auto batch = table.MultiGet(stream);
+  ASSERT_EQ(batch.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(batch[i], table.Get(stream[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter

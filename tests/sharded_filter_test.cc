@@ -1,0 +1,203 @@
+// Tests for the hash-partitioned sharded filter (src/service/): contract,
+// name grammar, batch routing, FPR parity with the unsharded equivalent, and
+// snapshot round-trips.
+#include "src/service/sharded_filter.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/service/batch_router.h"
+#include "src/util/random.h"
+
+namespace prefixfilter {
+namespace {
+
+TEST(ShardedFilterName, GrammarAcceptsAndRejects) {
+  ShardedFilterOptions options;
+  ASSERT_TRUE(ShardedFilter::ParseName("SHARD16[PF[TC]]", &options));
+  EXPECT_EQ(options.num_shards, 16u);
+  EXPECT_EQ(options.backend, "PF[TC]");
+  ASSERT_TRUE(ShardedFilter::ParseName("SHARD4[CF-12-Flex]", &options));
+  EXPECT_EQ(options.num_shards, 4u);
+  EXPECT_EQ(options.backend, "CF-12-Flex");
+
+  for (const char* bad :
+       {"SHARD[PF[TC]]", "SHARD0[TC]", "SHARD16", "SHARD16[]",
+        "SHARD16[TC", "SHARD8[SHARD4[TC]]", "SHARDx[TC]", "PF[TC]",
+        // Non-power-of-two counts are rejected, not rounded: the name is a
+        // registry key and must round-trip through Name() unchanged.
+        "SHARD3[TC]", "SHARD10[PF[TC]]"}) {
+    EXPECT_FALSE(ShardedFilter::ParseName(bad, &options)) << bad;
+  }
+}
+
+TEST(ShardedFilter, FactoryConstructsAndRoundTripsName) {
+  auto f = MakeFilter("SHARD16[PF[TC]]", 100000, 3);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->Name(), "SHARD16[PF[TC]]");
+  EXPECT_EQ(f->Capacity(), 100000u);
+  // Unknown inner names, nested sharding, and non-power-of-two counts fail
+  // cleanly (the latter would break the name round-trip if rounded).
+  EXPECT_EQ(MakeFilter("SHARD16[NOPE]", 1000), nullptr);
+  EXPECT_EQ(MakeFilter("SHARD8[SHARD4[TC]]", 1000), nullptr);
+  EXPECT_EQ(MakeFilter("SHARD10[TC]", 10000, 3), nullptr);
+}
+
+TEST(ShardedFilter, NoFalseNegativesAndShardsBalance) {
+  const uint64_t n = 200000;
+  ShardedFilterOptions options;
+  options.num_shards = 16;
+  options.seed = 171;
+  auto filter = ShardedFilter::Make(n, options);
+  ASSERT_NE(filter, nullptr);
+  const auto keys = RandomKeys(n, 172);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Contains(k));
+
+  // Balls-into-bins balance: every shard within the provisioned headroom,
+  // and no shard starved (the selector actually spreads keys).
+  const ShardStats total = filter->TotalStats();
+  EXPECT_EQ(total.inserts, n);
+  EXPECT_EQ(total.insert_failures, 0u);
+  const double mean = static_cast<double>(n) / filter->num_shards();
+  for (uint32_t s = 0; s < filter->num_shards(); ++s) {
+    const ShardStats stats = filter->shard_stats(s);
+    EXPECT_LE(stats.inserts, filter->per_shard_capacity()) << "shard " << s;
+    EXPECT_GT(stats.inserts, static_cast<uint64_t>(0.8 * mean)) << "shard " << s;
+  }
+}
+
+TEST(ShardedFilter, BatchAgreesWithScalarAcrossShards) {
+  const uint64_t n = 100000;
+  auto filter = MakeFilter("SHARD8[PF[CF12-Flex]]", n, 173);
+  ASSERT_NE(filter, nullptr);
+  const auto keys = RandomKeys(n, 174);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+
+  std::vector<uint64_t> stream = RandomKeys(60000, 175);
+  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i % n];
+  std::vector<uint8_t> batch(stream.size());
+  filter->ContainsBatch(stream.data(), stream.size(), batch.data());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(batch[i] != 0, filter->Contains(stream[i])) << "index " << i;
+  }
+
+  // Odd sizes and the empty batch do not write out of bounds.
+  for (size_t count : {size_t{0}, size_t{1}, size_t{17}, size_t{33}}) {
+    std::vector<uint8_t> out(count + 1, 0xcc);
+    filter->ContainsBatch(keys.data(), count, out.data());
+    for (size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], 1) << i;
+    EXPECT_EQ(out[count], 0xcc);
+  }
+}
+
+// Acceptance criterion: the global false positive rate of the sharded filter
+// stays within 10% of the equivalent single prefix filter at equal load.
+TEST(ShardedFilter, FprWithinTenPercentOfUnshardedEquivalent) {
+  const uint64_t n = 200000;
+  const auto keys = RandomKeys(n, 176);
+  const auto probes = RandomKeys(2000000, 177);
+
+  auto single = MakeFilter("PF[TC]", n, 178);
+  auto sharded = MakeFilter("SHARD16[PF[TC]]", n, 178);
+  ASSERT_NE(single, nullptr);
+  ASSERT_NE(sharded, nullptr);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(single->Insert(k));
+    ASSERT_TRUE(sharded->Insert(k));
+  }
+
+  uint64_t fp_single = 0, fp_sharded = 0;
+  for (uint64_t k : probes) fp_single += single->Contains(k);
+  std::vector<uint8_t> out(probes.size());
+  sharded->ContainsBatch(probes.data(), probes.size(), out.data());
+  for (uint8_t b : out) fp_sharded += b;
+
+  const double rate_single =
+      static_cast<double>(fp_single) / static_cast<double>(probes.size());
+  const double rate_sharded =
+      static_cast<double>(fp_sharded) / static_cast<double>(probes.size());
+  EXPECT_GT(rate_single, 0.0);
+  EXPECT_LT(std::abs(rate_sharded - rate_single), 0.10 * rate_single)
+      << "single " << rate_single << " sharded " << rate_sharded;
+}
+
+TEST(ShardedFilter, ConcurrentMixedTrafficIsSafe) {
+  const uint64_t n = 120000;
+  ShardedFilterOptions options;
+  options.num_shards = 8;
+  options.seed = 179;
+  auto filter = ShardedFilter::Make(n, options);
+  ASSERT_NE(filter, nullptr);
+  const auto keys = RandomKeys(n, 180);
+  const uint64_t half = n / 2;
+  for (uint64_t i = 0; i < half; ++i) ASSERT_TRUE(filter->Insert(keys[i]));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::thread reader([&]() {
+    BatchRouter router;
+    std::vector<uint64_t> batch(256);
+    std::vector<uint8_t> out(batch.size());
+    Xoshiro256 rng(181);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& k : batch) k = keys[rng.Below(half)];
+      router.Route(*filter, batch.data(), batch.size(), out.data());
+      for (uint8_t b : out) {
+        if (!b) read_errors.fetch_add(1);
+      }
+    }
+  });
+  std::thread writer([&]() {
+    filter->InsertBatch(keys.data() + half, n - half);
+  });
+  writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Contains(k));
+}
+
+TEST(ShardedFilter, SnapshotRoundTripsThroughTypeErasedLayer) {
+  const uint64_t n = 50000;
+  auto filter = MakeFilter("SHARD4[PF[BBF-Flex]]", n, 182);
+  ASSERT_NE(filter, nullptr);
+  const auto keys = RandomKeys(n, 183);
+  for (uint64_t k : keys) ASSERT_TRUE(filter->Insert(k));
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(filter->SerializeTo(&bytes));
+  auto restored = DeserializeFilter(bytes.data(), bytes.size());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->Name(), "SHARD4[PF[BBF-Flex]]");
+  EXPECT_EQ(restored->Capacity(), n);
+
+  const auto probes = RandomKeys(100000, 184);
+  for (uint64_t k : keys) ASSERT_TRUE(restored->Contains(k));
+  for (uint64_t k : probes) {
+    ASSERT_EQ(restored->Contains(k), filter->Contains(k));
+  }
+
+  // Stats survive the round trip.
+  auto* original = dynamic_cast<ShardedFilter*>(filter.get());
+  auto* loaded = dynamic_cast<ShardedFilter*>(restored.get());
+  ASSERT_NE(original, nullptr);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->TotalStats().inserts, n);
+  for (uint32_t s = 0; s < original->num_shards(); ++s) {
+    EXPECT_EQ(loaded->shard_stats(s).inserts, original->shard_stats(s).inserts);
+  }
+
+  // Corruptions in the sharded header fail cleanly.
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;  // envelope magic
+  EXPECT_EQ(DeserializeFilter(corrupt.data(), corrupt.size()), nullptr);
+  EXPECT_EQ(DeserializeFilter(bytes.data(), bytes.size() / 2), nullptr);
+}
+
+}  // namespace
+}  // namespace prefixfilter
