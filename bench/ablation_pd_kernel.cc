@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
               num_pds, num_queries);
   std::printf("compiled SIMD kernel: %s\n\n", prefixfilter::SimdKernelName());
 
+  bench::BenchRunner runner("ablation_pd_kernel", options);
   auto run = [&](const char* name, auto&& find) {
     uint64_t found = 0;
     bench::Timer timer;
@@ -114,9 +115,13 @@ int main(int argc, char** argv) {
     }
     const double secs = timer.Seconds();
     bench::KeepAlive(found);
-    std::printf("%-28s %8.1f Mops/s  (hit rate %.3f%%)\n", name,
-                bench::OpsPerSec(num_queries, secs) / 1e6,
+    const double mops = bench::OpsPerSec(num_queries, secs) / 1e6;
+    std::printf("%-28s %8.1f Mops/s  (hit rate %.3f%%)\n", name, mops,
                 100.0 * static_cast<double>(found) / num_queries);
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("query_mops", mops);
+    m.Set("hit_rate", static_cast<double>(found) / num_queries);
+    runner.Add(name, "full-pd-query", std::move(m));
   };
 
   run("cutoff + SIMD (shipped)",
@@ -148,5 +153,12 @@ int main(int argc, char** argv) {
   std::printf("  Select fallback:       %6.2f%%\n", 100 * fallback / total);
   std::printf("  => Select avoided for  %6.2f%% of queries (paper: >99%%)\n",
               100 * (empty + single) / total);
+
+  prefixfilter::json::Value paths = prefixfilter::json::Value::MakeObject();
+  paths.Set("path_empty_mask_fraction", empty / total);
+  paths.Set("path_single_candidate_fraction", single / total);
+  paths.Set("path_select_fallback_fraction", fallback / total);
+  runner.Add("PD256", "cutoff-paths", std::move(paths));
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

@@ -84,5 +84,23 @@ int main(int argc, char** argv) {
       "The gap between the two negative-query rows is the value of the\n"
       "Prefix Invariant.\n",
       100.0 * pf.stats().SpareQueryFraction());
+
+  bench::BenchRunner runner("ablation_prefix_invariant", options);
+  prefixfilter::json::Value pf_m = prefixfilter::json::Value::MakeObject();
+  pf_m.Set("build_mops", bench::OpsPerSec(n, pf_build) / 1e6);
+  pf_m.Set("negative_query_mops", bench::OpsPerSec(n, pf_neg_secs) / 1e6);
+  pf_m.Set("negative_query_batch_mops",
+           bench::OpsPerSec(n, pf_batch_secs) / 1e6);
+  pf_m.Set("positive_query_mops", bench::OpsPerSec(n, pf_pos_secs) / 1e6);
+  pf_m.Set("spare_insert_fraction", pf.stats().SpareInsertFraction());
+  pf_m.Set("spare_query_fraction", pf.stats().SpareQueryFraction());
+  runner.Add("PF[CF12-Flex]", "full-load", std::move(pf_m));
+  prefixfilter::json::Value be_m = prefixfilter::json::Value::MakeObject();
+  be_m.Set("build_mops", bench::OpsPerSec(n, be_build) / 1e6);
+  be_m.Set("negative_query_mops", bench::OpsPerSec(n, be_neg_secs) / 1e6);
+  be_m.Set("positive_query_mops", bench::OpsPerSec(n, be_pos_secs) / 1e6);
+  be_m.Set("spare_insert_fraction", be.stats().SpareInsertFraction());
+  runner.Add("BE[CF12-Flex]", "full-load", std::move(be_m));
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

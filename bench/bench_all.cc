@@ -1,0 +1,290 @@
+// bench_all: the aggregated factory-sweep benchmark the CI perf gate runs.
+//
+// Sweeps filter configurations (src/core/filter_factory.h names) against the
+// standard workload suite (src/workload/workload.h) and writes one JSON
+// document ("BENCH.json" by default) with, per (filter x workload) cell:
+// insert and query throughput (Mops/s), chunked ns/op percentiles, bits per
+// key, exact-reproducible FPR, and a false-negative canary (must be 0).
+//
+// An extra "mixed-rw-25i" cell per filter exercises the interleaved
+// insert/query stream (25% inserts) end to end.
+//
+// Usage:
+//   bench_all [--quick] [--n-log2=L] [--seed=S] [--out=BENCH.json]
+//             [--filters=A,B,...] [--workloads=a,b,...]
+//
+// --quick is the CI smoke scale (n = 0.94 * 2^16); compare runs against
+// bench/baseline.json with bench_compare.  Filters run through AnyFilter, so
+// the virtual-dispatch cost is part of every measured cell (identical across
+// configurations, which is what a comparative sweep wants).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/filter_factory.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+namespace bench = prefixfilter::bench;
+namespace workload = prefixfilter::workload;
+using prefixfilter::AnyFilter;
+using prefixfilter::MakeFilter;
+
+// The default sweep: the paper's main contenders plus the sharded service
+// configuration.  (KnownFilterNames() has 16+ entries; this is the curated
+// subset the baseline pins so the smoke job stays fast.)
+const char* kDefaultFilters[] = {
+    "BF-12",        "BBF-Flex",      "CF-8",    "CF-12-Flex", "TC",
+    "QF",           "PF[BBF-Flex]",  "PF[CF12-Flex]",
+    "PF[TC]",       "SHARD16[PF[TC]]",
+};
+
+std::vector<std::string> Split(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    const size_t comma = csv.find(',', begin);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+// Accumulated best-of-repeats state for one (filter x workload) cell.
+//
+// Repeats are driven from the OUTSIDE of the filter loop (sweep the whole
+// filter list, then repeat), so one cell's repeats land seconds apart: at
+// --quick scale a measurement phase is only a few ms, and a transient
+// machine-wide slowdown (noisy neighbor, frequency dip) that spans
+// back-to-back repeats would otherwise poison every sample of one cell at
+// once while the CI gate expects <15% drift.
+struct Cell {
+  bool ok = false;
+  bench::PhaseStats ins, qry, ops;
+  prefixfilter::json::Value quality = prefixfilter::json::Value::MakeObject();
+
+  void MergeBest(const bench::PhaseStats& i, const bench::PhaseStats& q,
+                 bool first) {
+    if (first || i.Mops() > ins.Mops()) ins = i;
+    if (first || q.Mops() > qry.Mops()) qry = q;
+  }
+};
+
+// One timed pass over the phase-separated cell; on `measure_quality` also
+// records the exact-reproducible metrics (FPR over ground-truth negatives,
+// bits/key, and a false-negative canary — a membership filter must never
+// miss).
+bool RunCellOnce(const std::string& filter_name,
+                 const workload::Stream& stream, const bench::Options& options,
+                 bool measure_quality, Cell* cell) {
+  const uint64_t n = stream.spec.num_keys;
+  auto filter = MakeFilter(filter_name, n, options.seed);
+  if (filter == nullptr) {
+    std::fprintf(stderr, "bench_all: unknown filter %s\n",
+                 filter_name.c_str());
+    return false;
+  }
+  const bench::PhaseStats ins = bench::TimedInserts(
+      *filter, stream.insert_keys, 0, stream.insert_keys.size());
+  const bench::PhaseStats qry = bench::TimedQueries(*filter, stream.queries);
+  cell->MergeBest(ins, qry, !cell->ok);
+
+  if (measure_quality) {
+    uint64_t false_positives = 0, false_negatives = 0;
+    for (size_t i = 0; i < stream.queries.size(); ++i) {
+      const bool hit = filter->Contains(stream.queries[i]);
+      if (stream.query_expected[i] == 0) {
+        false_positives += hit;
+      } else {
+        false_negatives += !hit;
+      }
+    }
+    const uint64_t negatives = stream.NumNegativeQueries();
+    cell->quality.Set("insert_failures", ins.failures);
+    cell->quality.Set("bits_per_key",
+                      8.0 * static_cast<double>(filter->SpaceBytes()) /
+                          static_cast<double>(n));
+    cell->quality.Set("fpr", negatives > 0
+                                 ? static_cast<double>(false_positives) /
+                                       static_cast<double>(negatives)
+                                 : 0.0);
+    cell->quality.Set("false_negatives", false_negatives);
+  }
+  cell->ok = true;
+  return true;
+}
+
+bool RunInterleavedOnce(const std::string& filter_name,
+                        const workload::Stream& stream,
+                        const bench::Options& options, bool measure_quality,
+                        Cell* cell) {
+  auto filter = MakeFilter(filter_name, stream.spec.num_keys, options.seed);
+  if (filter == nullptr) {
+    std::fprintf(stderr, "bench_all: unknown filter %s\n",
+                 filter_name.c_str());
+    return false;
+  }
+  const bench::PhaseStats ops = bench::TimedOps(*filter, stream.ops);
+  if (!cell->ok || ops.Mops() > cell->ops.Mops()) cell->ops = ops;
+  if (measure_quality) {
+    cell->quality.Set("insert_failures", ops.failures);
+    cell->quality.Set("bits_per_key",
+                      8.0 * static_cast<double>(filter->SpaceBytes()) /
+                          static_cast<double>(stream.spec.num_keys));
+  }
+  cell->ok = true;
+  return true;
+}
+
+prefixfilter::json::Value CellMetrics(const Cell& cell, bool interleaved) {
+  prefixfilter::json::Value metrics =
+      interleaved ? bench::PhaseMetrics(cell.ops, "ops")
+                  : bench::PhaseMetrics(cell.ins, "insert");
+  if (!interleaved) {
+    const prefixfilter::json::Value query_metrics =
+        bench::PhaseMetrics(cell.qry, "query");
+    for (const auto& [k, v] : query_metrics.AsObject()) metrics.Set(k, v);
+  }
+  for (const auto& [k, v] : cell.quality.AsObject()) metrics.Set(k, v);
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Split bench_all-specific flags from the shared harness flags.
+  std::vector<std::string> filters(std::begin(kDefaultFilters),
+                                   std::end(kDefaultFilters));
+  std::vector<std::string> workload_names;
+  std::string out_path;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--filters=", 0) == 0) {
+      filters = Split(arg.substr(10));
+    } else if (arg.rfind("--workloads=", 0) == 0) {
+      workload_names = Split(arg.substr(12));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_all [--quick] [--n-log2=L] [--seed=S]\n"
+          "                 [--out=BENCH.json] [--filters=A,B,...]\n"
+          "                 [--workloads=a,b,...]\n"
+          "workloads: uniform-negative mixed-50-50 zipf-positive\n"
+          "           adversarial-dup disjoint-negative (default: all,\n"
+          "           plus the interleaved mixed-rw-25i stream)\n");
+      return 0;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::Options options = bench::ParseOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  // --out wins, then the shared --json flag, then the documented default.
+  if (!out_path.empty()) options.json_path = out_path;
+  if (options.json_path.empty()) options.json_path = "BENCH.json";
+  out_path = options.json_path;
+
+  const uint64_t n = options.n();
+  // Queries per cell: enough steady-phase ops for stable chunk timing even
+  // at --quick scale.
+  const uint64_t num_queries =
+      std::max<uint64_t>(n, options.quick ? (uint64_t{1} << 20) : n);
+
+  bench::BenchRunner runner("bench_all", options);
+  std::printf("bench_all: n=%llu queries/cell=%llu filters=%zu -> %s\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(num_queries), filters.size(),
+              out_path.c_str());
+
+  bool interleaved_requested = workload_names.empty();
+  std::vector<workload::Spec> suite;
+  if (workload_names.empty()) {
+    suite = workload::StandardSuite(n, num_queries, options.seed);
+  } else {
+    for (const auto& name : workload_names) {
+      if (name == "mixed-rw-25i") {
+        interleaved_requested = true;
+        continue;
+      }
+      workload::Spec spec;
+      if (!workload::FindStandardSpec(name, n, num_queries, options.seed,
+                                      &spec)) {
+        std::fprintf(stderr, "bench_all: unknown workload %s\n", name.c_str());
+        return 2;
+      }
+      suite.push_back(spec);
+    }
+  }
+
+  // Best-of-R at smoke scale, repeats OUTSIDE the filter loop (see Cell);
+  // plus one throwaway warm-up cell so the first measured cell doesn't
+  // absorb process cold-start costs (page faults on the key arrays,
+  // frequency ramp-up).
+  const int repeats = options.quick ? 5 : 1;
+  if (!suite.empty() && !filters.empty()) {
+    const workload::Stream warm = workload::Generate(suite.front());
+    Cell discard;
+    (void)RunCellOnce(filters.front(), warm, options, false, &discard);
+  }
+
+  for (const auto& spec : suite) {
+    const workload::Stream stream = workload::Generate(spec);
+    std::vector<Cell> cells(filters.size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (size_t f = 0; f < filters.size(); ++f) {
+        if (!RunCellOnce(filters[f], stream, options, rep == 0, &cells[f])) {
+          return 2;
+        }
+      }
+    }
+    for (size_t f = 0; f < filters.size(); ++f) {
+      prefixfilter::json::Value metrics = CellMetrics(cells[f], false);
+      std::printf("  %-18s x %-18s insert %7.1f Mops/s  query %7.1f Mops/s"
+                  "  fpr %.5f%%\n",
+                  filters[f].c_str(), spec.name.c_str(),
+                  metrics.GetDouble("insert_mops"),
+                  metrics.GetDouble("query_mops"),
+                  100.0 * metrics.GetDouble("fpr"));
+      runner.Add(filters[f], spec.name, std::move(metrics));
+    }
+  }
+
+  if (interleaved_requested) {
+    workload::Spec rw;
+    rw.name = "mixed-rw-25i";
+    rw.num_keys = n;
+    rw.num_queries = std::max<uint64_t>(num_queries, 3 * n);
+    rw.insert_ratio = 0.25;
+    rw.positive_fraction = 0.5;
+    rw.seed = options.seed;
+    const workload::Stream stream = workload::Generate(rw);
+    std::vector<Cell> cells(filters.size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (size_t f = 0; f < filters.size(); ++f) {
+        if (!RunInterleavedOnce(filters[f], stream, options, rep == 0,
+                                &cells[f])) {
+          return 2;
+        }
+      }
+    }
+    for (size_t f = 0; f < filters.size(); ++f) {
+      prefixfilter::json::Value metrics = CellMetrics(cells[f], true);
+      std::printf("  %-18s x %-18s ops    %7.1f Mops/s\n", filters[f].c_str(),
+                  rw.name.c_str(), metrics.GetDouble("ops_mops"));
+      runner.Add(filters[f], rw.name, std::move(metrics));
+    }
+  }
+
+  if (!runner.WriteJsonIfRequested()) return 1;
+  std::printf("bench_all: %zu results -> %s\n", runner.NumResults(),
+              out_path.c_str());
+  return 0;
+}

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
               "negq@full Mops/s", "negq@50%% Mops/s");
   std::printf("---------+----------------+------------------+----------------\n");
 
+  bench::BenchRunner runner("concurrent_scaling", options);
   double base_insert = 0, base_full = 0, base_half = 0;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
     // Half-loaded filter: essentially no spare traffic, so queries measure
@@ -86,7 +87,18 @@ int main(int argc, char** argv) {
     std::printf("%8d | %8.1f (%.2fx) | %9.1f (%.2fx) | %9.1f (%.2fx)\n",
                 threads, ins_mops, ins_mops / base_insert, full_mops,
                 full_mops / base_full, half_mops, half_mops / base_half);
+
+    char workload[32];
+    std::snprintf(workload, sizeof(workload), "threads=%d", threads);
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("insert_mops", ins_mops);
+    m.Set("negative_query_full_mops", full_mops);
+    m.Set("negative_query_half_mops", half_mops);
+    m.Set("insert_speedup", ins_mops / base_insert);
+    m.Set("query_speedup_full", full_mops / base_full);
+    runner.Add("ConcurrentPF[CF12-Flex]", workload, std::move(m));
   }
+  if (!runner.WriteJsonIfRequested()) return 1;
   std::printf(
       "\nNotes: per-bin (cache-line-striped, line-padded) locks serialize\n"
       "nothing but same-line bin accesses; at full load ~6%% of queries also\n"

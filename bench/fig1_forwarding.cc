@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/harness.h"
 #include "src/analysis/binomial.h"
 #include "src/util/random.h"
 
@@ -34,7 +35,8 @@ double SimulateFraction(uint64_t n, uint64_t m, uint32_t k, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = prefixfilter::bench::ParseOptions(argc, argv);
   const uint64_t n = uint64_t{1} << 30;
   const double alphas[] = {1.00, 0.95, 0.90, 0.85};
 
@@ -58,6 +60,7 @@ int main() {
       "by ~1.36x (to ~6%%); curves decrease in k and in 1/alpha.\n");
 
   // Monte-Carlo validation at a tractable n.
+  prefixfilter::bench::BenchRunner runner("fig1_forwarding", options);
   const uint64_t n_sim = uint64_t{1} << 22;
   std::printf("\nMonte-Carlo validation (n = 2^22, single trial per cell):\n");
   std::printf("%4s | %8s | %10s | %10s\n", "k", "alpha", "analytic",
@@ -71,7 +74,16 @@ int main() {
       const double simulated = SimulateFraction(n_sim, m, k, 42 + k);
       std::printf("%4u | %7.0f%% | %9.4f%% | %9.4f%%\n", k, alpha * 100,
                   100 * analytic, 100 * simulated);
+
+      char workload[48];
+      std::snprintf(workload, sizeof(workload), "k=%u,alpha=%.2f", k, alpha);
+      prefixfilter::json::Value metrics =
+          prefixfilter::json::Value::MakeObject();
+      metrics.Set("spare_fraction_analytic", analytic);
+      metrics.Set("spare_fraction_simulated", simulated);
+      runner.Add("PF-model", workload, std::move(metrics));
     }
   }
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

@@ -5,9 +5,12 @@
 // "trivial" (the figure's dotted line).
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "src/analysis/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = prefixfilter::bench::ParseOptions(argc, argv);
+  prefixfilter::bench::BenchRunner runner("fig2_failure_bounds", options);
   const uint32_t k = 25;
   const double deltas[] = {0.05, 0.025, 0.01, 0.001};
 
@@ -38,9 +41,21 @@ int main() {
       };
       std::printf("%-8d | %-13s | %-13s | %.3e\n", log_m, fmt(cantelli),
                   fmt(hoeffding), best);
+      if (log_m == 28) {
+        char workload[48];
+        std::snprintf(workload, sizeof(workload), "delta=%.4f,log2m=28",
+                      delta);
+        prefixfilter::json::Value m2 =
+            prefixfilter::json::Value::MakeObject();
+        m2.Set("cantelli_bound", cantelli);
+        m2.Set("hoeffding_bound", hoeffding);
+        m2.Set("best_bound", best);
+        runner.Add("PF-model", workload, std::move(m2));
+      }
     }
     std::printf("\n");
   }
+  if (!runner.WriteJsonIfRequested()) return 1;
   std::printf(
       "Paper check: Cantelli decays polynomially (non-trivial even at small\n"
       "m); Hoeffding is trivial at small m / small delta but exponentially\n"

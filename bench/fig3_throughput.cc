@@ -31,6 +31,12 @@ struct Series {
   uint64_t failed_inserts = 0;
 };
 
+double Mean(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0 : sum / static_cast<double>(v.size());
+}
+
 template <typename Filter>
 Series RunSeries(const std::string& name, Filter filter,
                  const bench::Workload& w, int rounds) {
@@ -118,6 +124,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.failed_inserts));
     }
   }
+
+  // Machine-readable results: per filter, the load-sweep mean and the
+  // full-load (last-round) rate for each of the three §7.3 panels.
+  bench::BenchRunner runner("fig3_throughput", options);
+  for (const auto& s : all) {
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("insert_mean_mops", Mean(s.insert_mops));
+    m.Set("insert_at_full_mops", s.insert_mops.back());
+    m.Set("uniform_query_mean_mops", Mean(s.uniform_mops));
+    m.Set("uniform_query_at_full_mops", s.uniform_mops.back());
+    m.Set("positive_query_mean_mops", Mean(s.positive_mops));
+    m.Set("positive_query_at_full_mops", s.positive_mops.back());
+    m.Set("insert_failures", s.failed_inserts);
+    runner.Add(s.name, "load-sweep", std::move(m));
+  }
+  if (!runner.WriteJsonIfRequested()) return 1;
   std::printf(
       "\nPaper check: (a) CF insertions collapse at high load while PF stays\n"
       "within ~2-3x of its peak and TC is flat-then-degrading past 50%%;\n"

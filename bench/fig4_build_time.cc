@@ -26,14 +26,16 @@ struct Result {
   std::string name;
   double seconds;
   uint64_t failures;
+  bench::PhaseStats stats;
 };
 
 template <typename Filter>
 Result Build(const std::string& name, Filter filter,
              const std::vector<uint64_t>& keys) {
-  const auto [secs, failures] = bench::TimeInserts(filter, keys, 0, keys.size());
+  const bench::PhaseStats stats =
+      bench::TimedInserts(filter, keys, 0, keys.size());
   bench::KeepAlive(filter.Contains(keys[0]));
-  return {name, secs, failures};
+  return {name, stats.seconds, stats.failures, stats};
 }
 
 }  // namespace
@@ -104,5 +106,18 @@ int main(int argc, char** argv) {
   std::printf("  CF-12-Flex / PF   = %.2fx\n", find("CF-12-Flex") / pf_best);
   std::printf("  PF(worst)/PF(best)= %.2fx (paper: spare choice ~5.6%%)\n",
               pf_worst / pf_best);
+
+  bench::BenchRunner runner("fig4_build_time", options);
+  for (const auto& r : results) {
+    prefixfilter::json::Value m = bench::PhaseMetrics(r.stats, "build");
+    m.Set("build_seconds", r.seconds);
+    m.Set("insert_failures", r.failures);
+    runner.Add(r.name, "build", std::move(m));
+  }
+  prefixfilter::json::Value speedups = prefixfilter::json::Value::MakeObject();
+  speedups.Set("tc_over_pf_best", find("TC") / pf_best);
+  speedups.Set("cf12_over_pf_best", find("CF-12") / pf_best);
+  runner.Add("summary", "build", std::move(speedups));
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

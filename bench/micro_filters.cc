@@ -1,5 +1,9 @@
 // google-benchmark microbenchmarks: per-operation latencies of every filter
 // at low (25%) and high (95%) load — the per-op view of Figure 3.
+//
+// Streams come from src/workload (seeded, deterministic); machine-readable
+// output is google-benchmark's own (--benchmark_format=json), not the
+// BenchRunner document, since gbench owns the measurement loop here.
 #include <benchmark/benchmark.h>
 
 #include "src/core/prefix_filter.h"
@@ -10,38 +14,41 @@
 #include "src/filters/quotient.h"
 #include "src/filters/twochoicer.h"
 #include "src/util/random.h"
+#include "src/workload/workload.h"
 
 namespace prefixfilter {
 namespace {
 
 constexpr uint64_t kN = uint64_t{1} << 20;
 
-template <typename Filter>
-Filter MakeLoaded(Filter filter, double load, uint64_t seed) {
-  const auto keys = RandomKeys(static_cast<size_t>(load * kN), seed);
-  for (uint64_t k : keys) filter.Insert(k);
-  return filter;
+workload::Stream MakeStream(double load, double positive_fraction,
+                            uint64_t seed) {
+  workload::Spec spec;
+  spec.num_keys = static_cast<uint64_t>(load * kN);
+  spec.num_queries = 1 << 16;
+  spec.positive_fraction = positive_fraction;
+  spec.seed = seed;
+  return workload::Generate(spec);
 }
 
 template <typename Filter>
 void RunNegativeQueries(benchmark::State& state, Filter filter, double load) {
-  filter = MakeLoaded(std::move(filter), load, 11);
-  const auto probes = RandomKeys(1 << 16, 12);
+  const workload::Stream stream = MakeStream(load, 0.0, 11);
+  for (uint64_t k : stream.insert_keys) filter.Insert(k);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.Contains(probes[i++ & 0xffff]));
+    benchmark::DoNotOptimize(filter.Contains(stream.queries[i++ & 0xffff]));
   }
   state.SetItemsProcessed(state.iterations());
 }
 
 template <typename Filter>
 void RunPositiveQueries(benchmark::State& state, Filter filter, double load) {
-  const auto keys = RandomKeys(static_cast<size_t>(load * kN), 13);
-  for (uint64_t k : keys) filter.Insert(k);
-  const auto probes = SampleKeys(keys, keys.size(), 1 << 16, 14);
+  const workload::Stream stream = MakeStream(load, 1.0, 13);
+  for (uint64_t k : stream.insert_keys) filter.Insert(k);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.Contains(probes[i++ & 0xffff]));
+    benchmark::DoNotOptimize(filter.Contains(stream.queries[i++ & 0xffff]));
   }
   state.SetItemsProcessed(state.iterations());
 }

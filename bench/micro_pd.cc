@@ -1,6 +1,9 @@
 // google-benchmark microbenchmarks for the pocket dictionaries (paper §5):
 // per-operation costs of PD256/PD512 queries and inserts at varying
 // occupancies, isolating the data structure from the filter around it.
+//
+// Machine-readable output is google-benchmark's own
+// (--benchmark_format=json); query streams come from src/workload.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -11,6 +14,7 @@
 #include "src/util/aligned.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
+#include "src/workload/workload.h"
 
 namespace prefixfilter {
 namespace {
@@ -29,9 +33,14 @@ void FillPds(AlignedBuffer<PD>& pds, int occupancy, uint64_t seed) {
   }
 }
 
+// Uniform negative-query stream via the shared workload generator (no keys
+// inserted, so every query is a miss w.o.p. — the PD cutoff's common case).
 template <typename PD>
 std::vector<uint64_t> QueryStream(size_t count, uint64_t seed) {
-  return RandomKeys(count, seed);
+  workload::Spec spec;
+  spec.num_queries = count;
+  spec.seed = seed;
+  return workload::Generate(spec).queries;
 }
 
 template <typename PD>

@@ -69,15 +69,18 @@ Cell RunCell(const ShardedFilter& filter, const std::vector<uint64_t>& stream,
 int main(int argc, char** argv) {
   const auto options = prefixfilter::bench::ParseOptions(argc, argv);
   const uint64_t n = options.n();
-  const auto keys = prefixfilter::RandomKeys(n, options.seed);
 
-  // Mixed 50/50 stream: even positions sample inserted keys, odd positions
-  // are uniform (negative with overwhelming probability).
-  std::vector<uint64_t> stream =
-      prefixfilter::RandomKeys(2 * n, options.seed ^ 0x777u);
-  const auto positives =
-      prefixfilter::SampleKeys(keys, n, n, options.seed ^ 0x888u);
-  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = positives[i / 2];
+  // Mixed 50/50 positive/negative stream from the standard workload suite
+  // (the same "mixed-50-50" cell bench_all sweeps, at 2n queries).
+  prefixfilter::workload::Spec spec;
+  if (!prefixfilter::workload::FindStandardSpec("mixed-50-50", n, 2 * n,
+                                                options.seed, &spec)) {
+    return 2;
+  }
+  const prefixfilter::workload::Stream generated =
+      prefixfilter::workload::Generate(spec);
+  const std::vector<uint64_t>& keys = generated.insert_keys;
+  const std::vector<uint64_t>& stream = generated.queries;
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   std::printf("# service_scaling: n=%" PRIu64 " stream=%zu hw_threads=%d\n",
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
 
   const std::vector<uint32_t> shard_counts = {1, 4, 16, 64};
   const std::vector<int> thread_counts = {1, 2, 4, 8};
+  prefixfilter::bench::BenchRunner runner("service_scaling", options);
 
   if (options.csv) {
     std::printf("shards,threads,mqps,speedup_vs_1thread\n");
@@ -122,6 +126,13 @@ int main(int argc, char** argv) {
       } else {
         std::printf(" %6.1f |", cell.mops);
       }
+      char workload[48];
+      std::snprintf(workload, sizeof(workload), "mixed-50-50,threads=%d",
+                    threads);
+      prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+      m.Set("batched_query_mops", cell.mops);
+      m.Set("speedup_vs_1thread", first > 0 ? cell.mops / first : 0.0);
+      runner.Add(filter->Name(), workload, std::move(m));
     }
     if (!options.csv) {
       std::printf("   %5.2fx\n", first > 0 ? last / first : 0.0);
@@ -151,6 +162,10 @@ int main(int argc, char** argv) {
       std::printf("%-22s | %6.1f | (unsharded baseline)\n", "PF[TC] single",
                   mqps);
     }
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("batched_query_mops", mqps);
+    runner.Add("PF[TC]", "mixed-50-50,threads=1", std::move(m));
   }
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

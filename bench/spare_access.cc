@@ -18,7 +18,8 @@ namespace bench = prefixfilter::bench;
 using prefixfilter::PrefixFilter;
 using prefixfilter::SpareTcTraits;
 
-void RunSweep(double alpha, const bench::Options& options) {
+void RunSweep(double alpha, const bench::Options& options,
+              bench::BenchRunner* runner) {
   const uint64_t n = options.n();
   prefixfilter::PrefixFilterOptions pf_options;
   pf_options.seed = options.seed;
@@ -62,6 +63,16 @@ void RunSweep(double alpha, const bench::Options& options) {
     std::printf("%4d%% | %11.4f%% | %11.4f%% | %11.4f%% | %11.4f%%\n",
                 10 * (round + 1), 100 * ins_frac, 100 * expected,
                 100 * neg_frac, 100 * pos_frac);
+
+    char workload[48];
+    std::snprintf(workload, sizeof(workload), "alpha=%.2f,load=%d%%", alpha,
+                  10 * (round + 1));
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("spare_insert_fraction", ins_frac);
+    m.Set("spare_insert_fraction_expected", expected);
+    m.Set("spare_negative_query_fraction", neg_frac);
+    m.Set("spare_positive_query_fraction", pos_frac);
+    runner->Add("PF[TC]", workload, std::move(m));
   }
   std::printf("\n");
 }
@@ -73,8 +84,10 @@ int main(int argc, char** argv) {
   std::printf("== Spare access validation (Theorem 2(3), Theorems 17/25) ==\n");
   std::printf("n = 0.94 * 2^%d = %llu\n\n", options.n_log2,
               static_cast<unsigned long long>(options.n()));
-  RunSweep(0.95, options);
-  RunSweep(1.00, options);
+  bench::BenchRunner runner("spare_access", options);
+  RunSweep(0.95, options, &runner);
+  RunSweep(1.00, options, &runner);
+  if (!runner.WriteJsonIfRequested()) return 1;
   std::printf(
       "Paper check: every column stays below 1/sqrt(2*pi*25) = 7.98%%\n"
       "(insertions below 1.1x that); at alpha=1, full load, insertions\n"

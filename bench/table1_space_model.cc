@@ -9,11 +9,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "src/analysis/space_model.h"
 
 namespace {
 
-void PrintTable(double eps, uint32_t k) {
+void PrintTable(double eps, uint32_t k,
+                prefixfilter::bench::BenchRunner* runner) {
   std::printf("epsilon = %.4f%%, prefix-filter bin capacity k = %u\n",
               eps * 100, k);
   std::printf("%-6s | %-38s | %-6s | %s\n", "Filter", "Bits per key",
@@ -29,18 +31,29 @@ void PrintTable(double eps, uint32_t k) {
     std::printf("%-6s | %-38s | %-6.2f | %s\n", row.filter.c_str(),
                 row.bits_per_key.c_str(), row.cache_misses_per_negative_query,
                 load);
+
+    char workload[32];
+    std::snprintf(workload, sizeof(workload), "eps=%.4f", eps);
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("cache_misses_per_negative_query",
+          row.cache_misses_per_negative_query);
+    m.Set("max_load_factor", row.max_load_factor);
+    runner->Add(row.filter, workload, std::move(m));
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = prefixfilter::bench::ParseOptions(argc, argv);
+  prefixfilter::bench::BenchRunner runner("table1_space_model", options);
   std::printf("== Table 1: space / cache-miss / load-factor model ==\n\n");
-  PrintTable(1.0 / 256, 25);   // the prototype's operating point (§4.3)
-  PrintTable(0.025, 25);       // the introduction's "typical" 2.5%
+  PrintTable(1.0 / 256, 25, &runner);  // the prototype's operating point (§4.3)
+  PrintTable(0.025, 25, &runner);      // the introduction's "typical" 2.5%
   std::printf(
       "Paper check: PF row should read ~(1+g)(log2(1/eps)+2)+g bits/key with\n"
       "g = 1/sqrt(2*pi*25) ~ 0.0798, CM/NQ <= 1+2g ~ 1.16, load factor 100%%.\n");
+  if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

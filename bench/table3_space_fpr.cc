@@ -71,6 +71,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::BenchRunner runner("table3_space_fpr", options);
+  for (const auto& r : rows) {
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("fpr", r.error_pct / 100.0);
+    m.Set("bits_per_key", r.bits_per_key);
+    m.Set("optimal_bits_per_key", r.optimal_bits);
+    m.Set("space_over_optimal", r.ratio);
+    runner.Add(r.name, "uniform-negative", std::move(m));
+  }
+  if (!runner.WriteJsonIfRequested()) return 1;
+
   if (options.csv) {
     std::printf("filter,error_pct,bits_per_key,optimal_bits,diff,ratio\n");
     for (const auto& r : rows) {

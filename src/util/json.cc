@@ -1,0 +1,321 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace prefixfilter::json {
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double d, std::string* out) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; emit null like most writers
+    *out += "null";
+    return;
+  }
+  const double rounded = std::nearbyint(d);
+  char buf[32];
+  if (rounded == d && std::fabs(d) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  *out += buf;
+}
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string* error;
+
+  bool Fail(const char* what, const char* at) {
+    if (error != nullptr) {
+      *error = std::string(what) + " at byte " + std::to_string(at - start);
+    }
+    return false;
+  }
+
+  const char* start;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (static_cast<size_t>(end - p) < len || std::memcmp(p, lit, len) != 0) {
+      return Fail("invalid literal", p);
+    }
+    p += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string", p);
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (++p >= end) return Fail("dangling escape", p);
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 5) return Fail("truncated \\u escape", p);
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= c - '0';
+              else if (c >= 'a' && c <= 'f') code |= c - 'a' + 10;
+              else if (c >= 'A' && c <= 'F') code |= c - 'A' + 10;
+              else return Fail("bad \\u escape", p);
+            }
+            p += 4;
+            // Encode as UTF-8 (surrogate pairs unsupported; rare in metrics).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape", p);
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return Fail("unterminated string", p);
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > 64) return Fail("nesting too deep", p);
+    SkipWs();
+    if (p >= end) return Fail("unexpected end of input", p);
+    switch (*p) {
+      case 'n':
+        if (!Literal("null")) return false;
+        *out = Value();
+        return true;
+      case 't':
+        if (!Literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++p;
+        Value arr = Value::MakeArray();
+        SkipWs();
+        if (p < end && *p == ']') {
+          ++p;
+          *out = std::move(arr);
+          return true;
+        }
+        while (true) {
+          Value elem;
+          if (!ParseValue(&elem, depth + 1)) return false;
+          arr.Append(std::move(elem));
+          SkipWs();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            *out = std::move(arr);
+            return true;
+          }
+          return Fail("expected ',' or ']'", p);
+        }
+      }
+      case '{': {
+        ++p;
+        Value obj = Value::MakeObject();
+        SkipWs();
+        if (p < end && *p == '}') {
+          ++p;
+          *out = std::move(obj);
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWs();
+          if (p >= end || *p != ':') return Fail("expected ':'", p);
+          ++p;
+          Value member;
+          if (!ParseValue(&member, depth + 1)) return false;
+          obj.Set(key, std::move(member));
+          SkipWs();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            *out = std::move(obj);
+            return true;
+          }
+          return Fail("expected ',' or '}'", p);
+        }
+      }
+      default: {
+        char* num_end = nullptr;
+        const double d = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end) return Fail("expected value", p);
+        p = num_end;
+        *out = Value(d);
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void Value::Set(const std::string& key, Value value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const Value* Value::Get(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::GetDouble(const std::string& key, double fallback) const {
+  const Value* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: NumberInto(number_, out); break;
+    case Type::kString: EscapeInto(string_, out); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        EscapeInto(members_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool Value::Parse(const std::string& text, Value* out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), error,
+                text.data()};
+  Value v;
+  if (!parser.ParseValue(&v, 0)) return false;
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return parser.Fail("trailing garbage", parser.p);
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace prefixfilter::json

@@ -1,0 +1,109 @@
+// Minimal JSON document model: enough to write the benchmark results the
+// harness emits and to parse them back in the regression gate and tests.
+//
+// Scope (deliberately small, zero dependencies):
+//  * Values: null, bool, number (double; integral values round-trip exactly
+//    up to 2^53), string, array, object.
+//  * Objects preserve insertion order and assume unique keys (duplicate keys
+//    on parse keep the last occurrence, like most parsers).
+//  * Serialization escapes control characters, quotes, and backslashes;
+//    non-ASCII bytes pass through untouched (streams are UTF-8 end to end).
+//  * Parsing accepts any document this library writes plus ordinary
+//    hand-written JSON (whitespace, nested containers, \uXXXX escapes).
+#ifndef PREFIXFILTER_SRC_UTIL_JSON_H_
+#define PREFIXFILTER_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prefixfilter::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Value(double d) : type_(Type::kNumber), number_(d) {}           // NOLINT
+  Value(int i) : type_(Type::kNumber), number_(i) {}              // NOLINT
+  Value(int64_t i)                                                // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Value(uint64_t u)                                               // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}   // NOLINT
+
+  static Value MakeObject() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value MakeArray() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  Array& AsArray() { return array_; }
+  const std::vector<Member>& AsObject() const { return members_; }
+
+  // Object access.  Set() overwrites an existing key in place; Get() returns
+  // nullptr when the key is absent or this value is not an object.
+  void Set(const std::string& key, Value value);
+  const Value* Get(const std::string& key) const;
+  Value* Get(const std::string& key) {
+    return const_cast<Value*>(static_cast<const Value*>(this)->Get(key));
+  }
+
+  // Typed lookups with defaults, for tolerant consumers.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  // Array append.
+  void Append(Value value) { array_.push_back(std::move(value)); }
+
+  // Compact serialization (no whitespace).  `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  // Parses `text`; returns false (and leaves *out untouched) on malformed
+  // input or trailing garbage.  `error` (optional) receives a short
+  // byte-offset diagnostic.
+  static bool Parse(const std::string& text, Value* out,
+                    std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  std::vector<Member> members_;
+};
+
+}  // namespace prefixfilter::json
+
+#endif  // PREFIXFILTER_SRC_UTIL_JSON_H_

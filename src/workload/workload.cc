@@ -1,0 +1,205 @@
+#include "src/workload/workload.h"
+
+#include "src/util/random.h"
+#include "src/workload/zipf.h"
+
+namespace prefixfilter::workload {
+
+namespace {
+
+constexpr uint64_t kMsb = uint64_t{1} << 63;
+
+// Seed-stream separation: each logical stream inside one workload derives
+// its own generator so that changing e.g. num_queries never perturbs the
+// insert keys.
+enum SeedStream : uint64_t {
+  kInsertStream = 0x496e73ULL,   // "Ins"
+  kNegativeStream = 0x4e6567ULL, // "Neg"
+  kChoiceStream = 0x43686fULL,   // "Cho"
+  kHotStream = 0x486f74ULL,      // "Hot"
+  kOpStream = 0x4f7073ULL,       // "Ops"
+};
+
+uint64_t SubSeed(uint64_t seed, SeedStream stream) {
+  SplitMix64 sm(seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+  return sm.Next();
+}
+
+}  // namespace
+
+uint64_t Stream::NumNegativeQueries() const {
+  uint64_t negatives = 0;
+  for (uint8_t e : query_expected) negatives += (e == 0);
+  return negatives;
+}
+
+Stream Generate(const Spec& spec) {
+  Stream s;
+  s.spec = spec;
+
+  // Insert keys: uniform, MSB cleared when negatives must be disjoint.
+  s.insert_keys = RandomKeys(spec.num_keys, SubSeed(spec.seed, kInsertStream));
+  if (spec.disjoint_negatives) {
+    for (auto& k : s.insert_keys) k &= ~kMsb;
+  }
+
+  Xoshiro256 negatives(SubSeed(spec.seed, kNegativeStream));
+  auto next_negative = [&]() {
+    const uint64_t k = negatives.Next();
+    return spec.disjoint_negatives ? (k | kMsb) : k;
+  };
+
+  // Positive sampling: uniform rank, or zipfian rank when theta > 0.
+  Xoshiro256 choice(SubSeed(spec.seed, kChoiceStream));
+  ZipfianGenerator zipf(spec.num_keys > 0 ? spec.num_keys : 1,
+                        spec.zipf_theta > 0 ? spec.zipf_theta : 0.99);
+  auto next_positive = [&]() {
+    const uint64_t rank = spec.zipf_theta > 0
+                              ? zipf.Next(choice)
+                              : choice.Below(spec.num_keys);
+    return s.insert_keys[rank];
+  };
+
+  // Hot set for duplicate-heavy traffic: even slots inserted, odd absent.
+  std::vector<uint64_t> hot_keys;
+  std::vector<uint8_t> hot_expected;
+  if (spec.hot_fraction > 0 && spec.hot_set_size > 0) {
+    Xoshiro256 hot(SubSeed(spec.seed, kHotStream));
+    for (uint64_t i = 0; i < spec.hot_set_size; ++i) {
+      if (i % 2 == 0 && spec.num_keys > 0) {
+        hot_keys.push_back(s.insert_keys[hot.Below(spec.num_keys)]);
+        hot_expected.push_back(1);
+      } else {
+        const uint64_t k = hot.Next();
+        hot_keys.push_back(spec.disjoint_negatives ? (k | kMsb) : k);
+        hot_expected.push_back(0);
+      }
+    }
+  }
+
+  // Probability draws quantized to 2^-32 so streams are platform-exact.
+  auto draw = [](Xoshiro256& rng, double p) {
+    return static_cast<double>(rng.Next() >> 32) <
+           p * 4294967296.0;  // 2^32
+  };
+
+  s.queries.reserve(spec.num_queries);
+  s.query_expected.reserve(spec.num_queries);
+  for (uint64_t i = 0; i < spec.num_queries; ++i) {
+    uint64_t key;
+    uint8_t expected;
+    if (!hot_keys.empty() && draw(choice, spec.hot_fraction)) {
+      const uint64_t slot = choice.Below(hot_keys.size());
+      key = hot_keys[slot];
+      expected = hot_expected[slot];
+    } else if (spec.num_keys > 0 && draw(choice, spec.positive_fraction)) {
+      key = next_positive();
+      expected = 1;
+    } else {
+      key = next_negative();
+      expected = 0;
+    }
+    s.queries.push_back(key);
+    s.query_expected.push_back(expected);
+  }
+
+  // Interleaved op stream: spreads the inserts through the query stream at
+  // `insert_ratio`, querying only keys already inserted (positives sample
+  // the inserted prefix, re-deriving ground truth from the prefix).
+  if (spec.insert_ratio > 0) {
+    Xoshiro256 oprng(SubSeed(spec.seed, kOpStream));
+    s.ops.reserve(spec.num_keys + spec.num_queries);
+    uint64_t inserted = 0, queried = 0;
+    while (inserted < spec.num_keys || queried < spec.num_queries) {
+      const bool must_insert = queried >= spec.num_queries;
+      const bool may_insert = inserted < spec.num_keys;
+      if (may_insert && (must_insert || draw(oprng, spec.insert_ratio))) {
+        s.ops.push_back(Op{s.insert_keys[inserted], 1, 1});
+        ++inserted;
+      } else {
+        uint64_t key;
+        uint8_t expected;
+        if (inserted > 0 && draw(oprng, spec.positive_fraction)) {
+          key = s.insert_keys[oprng.Below(inserted)];
+          expected = 1;
+        } else {
+          const uint64_t k = oprng.Next();
+          key = spec.disjoint_negatives ? (k | kMsb) : k;
+          expected = 0;
+        }
+        s.ops.push_back(Op{key, 0, expected});
+        ++queried;
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<Spec> StandardSuite(uint64_t num_keys, uint64_t num_queries,
+                                uint64_t seed) {
+  std::vector<Spec> suite;
+
+  Spec uniform;
+  uniform.name = "uniform-negative";
+  suite.push_back(uniform);
+
+  Spec mixed;
+  mixed.name = "mixed-50-50";
+  mixed.positive_fraction = 0.5;
+  suite.push_back(mixed);
+
+  Spec zipf;
+  zipf.name = "zipf-positive";
+  zipf.positive_fraction = 1.0;
+  zipf.zipf_theta = 0.99;
+  suite.push_back(zipf);
+
+  Spec adversarial;
+  adversarial.name = "adversarial-dup";
+  adversarial.hot_fraction = 0.9;
+  adversarial.hot_set_size = 64;
+  adversarial.positive_fraction = 0.5;
+  suite.push_back(adversarial);
+
+  Spec disjoint;
+  disjoint.name = "disjoint-negative";
+  disjoint.disjoint_negatives = true;
+  suite.push_back(disjoint);
+
+  for (auto& spec : suite) {
+    spec.num_keys = num_keys;
+    spec.num_queries = num_queries;
+    spec.seed = seed;
+  }
+  return suite;
+}
+
+bool FindStandardSpec(const std::string& name, uint64_t num_keys,
+                      uint64_t num_queries, uint64_t seed, Spec* out) {
+  for (auto& spec : StandardSuite(num_keys, num_queries, seed)) {
+    if (spec.name == name) {
+      *out = spec;
+      return true;
+    }
+  }
+  return false;
+}
+
+RoundWorkload RoundWorkload::Generate(uint64_t n, int rounds, uint64_t seed) {
+  RoundWorkload w;
+  const uint64_t per_round = n / rounds;
+  w.insert_keys = RandomKeys(n, seed);
+  w.uniform_queries.reserve(rounds);
+  w.positive_queries.reserve(rounds);
+  for (int round = 0; round < rounds; ++round) {
+    w.uniform_queries.push_back(
+        RandomKeys(per_round, seed ^ (0x1111u + round)));
+    const uint64_t inserted = per_round * (round + 1);
+    w.positive_queries.push_back(
+        SampleKeys(w.insert_keys, inserted, per_round,
+                   seed ^ (0x2222u + round)));
+  }
+  return w;
+}
+
+}  // namespace prefixfilter::workload

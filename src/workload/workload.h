@@ -1,0 +1,108 @@
+// Deterministic, seeded workload generation for benchmarks and tests.
+//
+// The paper's evaluation (§7.3) uses one workload shape: uniform insertions
+// followed by uniform (negative w.o.p.) and sampled-positive query rounds.
+// Production filter deployments see more: skewed key popularity, duplicate-
+// heavy adversarial traffic, mixed insert/query streams, and query keys that
+// are guaranteed (not just overwhelmingly likely) to be absent.  This layer
+// generates all of those from a small declarative Spec, deterministically:
+// the same Spec (including seed) always produces bit-identical streams, so
+// benchmark runs are comparable PR-to-PR and FPR measurements are exactly
+// reproducible.
+//
+// Universe partitioning: when `disjoint_negatives` is set, insert keys are
+// drawn from the lower half of the 2^64 key universe (MSB clear) and
+// negative queries from the upper half (MSB set), making negative queries
+// disjoint from the inserted set by construction.  Otherwise both streams
+// are uniform over the full universe and overlap only with probability
+// ~ n^2 / 2^64 (the paper's "negative with overwhelming probability"
+// regime) — this is the overlapping-negative stream shape.
+#ifndef PREFIXFILTER_SRC_WORKLOAD_WORKLOAD_H_
+#define PREFIXFILTER_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prefixfilter::workload {
+
+struct Spec {
+  std::string name;
+
+  uint64_t num_keys = 0;     // keys to insert (the filter's working set)
+  uint64_t num_queries = 0;  // queries in the stream
+
+  // Fraction of queries that target inserted keys (ground-truth positives).
+  double positive_fraction = 0.0;
+
+  // > 0: positive queries pick inserted keys zipfian-skewed by insertion
+  // rank (theta is the YCSB skew parameter, e.g. 0.99) instead of uniformly.
+  double zipf_theta = 0.0;
+
+  // Adversarial duplicate-heavy traffic: with probability `hot_fraction` a
+  // query is drawn uniformly from a fixed hot set of `hot_set_size` keys
+  // (half inserted, half absent) instead of the cold path above.  Models a
+  // cache-busting repeated-key attack / pathological popular-key traffic.
+  double hot_fraction = 0.0;
+  uint64_t hot_set_size = 0;
+
+  // Guaranteed-negative queries via universe partitioning (see file header).
+  bool disjoint_negatives = false;
+
+  // > 0: emit an interleaved op stream (Stream::ops) mixing inserts and
+  // queries at this insert ratio, instead of phase-separated vectors.  The
+  // phase-separated vectors are still filled (inserts in stream order).
+  double insert_ratio = 0.0;
+
+  uint64_t seed = 0x5eedf00dULL;
+};
+
+// One interleaved operation (only produced when spec.insert_ratio > 0).
+struct Op {
+  uint64_t key;
+  uint8_t is_insert;          // 1 = insert, 0 = query
+  uint8_t expected_positive;  // queries only: ground-truth membership
+};
+
+struct Stream {
+  Spec spec;
+  std::vector<uint64_t> insert_keys;     // spec.num_keys entries
+  std::vector<uint64_t> queries;         // spec.num_queries entries
+  std::vector<uint8_t> query_expected;   // parallel to `queries`
+  std::vector<Op> ops;                   // non-empty iff insert_ratio > 0
+
+  // Number of queries with ground truth "absent" (denominator for FPR).
+  uint64_t NumNegativeQueries() const;
+};
+
+// Generates the full stream for `spec`.  Deterministic in `spec`.
+Stream Generate(const Spec& spec);
+
+// The named standard suite swept by bench_all (and pinned by
+// bench/baseline.json):
+//   uniform-negative    100% uniform negative queries (§7.3 panel b)
+//   mixed-50-50         50% sampled positives / 50% uniform negatives
+//   zipf-positive       100% positives, zipfian (theta = 0.99) popularity
+//   adversarial-dup     90% of queries from a 64-key hot set (half absent)
+//   disjoint-negative   100% guaranteed negatives (partitioned universe)
+std::vector<Spec> StandardSuite(uint64_t num_keys, uint64_t num_queries,
+                                uint64_t seed);
+
+// Looks up a StandardSuite spec by name; returns false if unknown.
+bool FindStandardSpec(const std::string& name, uint64_t num_keys,
+                      uint64_t num_queries, uint64_t seed, Spec* out);
+
+// The §7.3 round-structured workload used by the figure benches: one
+// insertion stream cut into `rounds` equal slices, plus per-round uniform
+// (negative) and sampled-positive query streams of one slice each.
+struct RoundWorkload {
+  std::vector<uint64_t> insert_keys;                    // n keys
+  std::vector<std::vector<uint64_t>> uniform_queries;   // rounds x n/rounds
+  std::vector<std::vector<uint64_t>> positive_queries;  // rounds x n/rounds
+
+  static RoundWorkload Generate(uint64_t n, int rounds, uint64_t seed);
+};
+
+}  // namespace prefixfilter::workload
+
+#endif  // PREFIXFILTER_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,62 @@
+// Zipfian rank generator (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD '94 — the YCSB formulation).
+//
+// Draws ranks in [0, n) where rank i has probability proportional to
+// 1 / (i+1)^theta.  theta in (0, 1); YCSB's default skew is 0.99, under
+// which the most popular ~10% of ranks receive ~80% of draws.  Construction
+// computes the harmonic normalizer in O(n); generation is O(1) per draw.
+//
+// Deterministic: the distribution is fixed by (n, theta) and every draw
+// consumes exactly one value from the caller's generator.
+#ifndef PREFIXFILTER_SRC_WORKLOAD_ZIPF_H_
+#define PREFIXFILTER_SRC_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace prefixfilter::workload {
+
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    double zeta2 = 0, zetan = 0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      const double term = 1.0 / std::pow(static_cast<double>(i), theta_);
+      zetan += term;
+      if (i == 2) zeta2 = zetan;
+    }
+    zetan_ = zetan;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Next(Xoshiro256& rng) {
+    // 53-bit uniform in [0, 1).
+    const double u =
+        static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace prefixfilter::workload
+
+#endif  // PREFIXFILTER_SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,112 @@
+// Tests for src/util/json.h: round-tripping, escaping, number handling, and
+// parse-failure behavior — the benchmark result pipeline (bench/harness.h ->
+// bench_compare) depends on documents surviving Dump -> Parse unchanged.
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace prefixfilter::json {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  Value doc = Value::MakeObject();
+  doc.Set("null_member", Value());
+  doc.Set("yes", Value(true));
+  doc.Set("no", Value(false));
+  doc.Set("int", Value(int64_t{-12345}));
+  doc.Set("big", Value(uint64_t{1} << 52));
+  doc.Set("pi", Value(3.14159265358979));
+  doc.Set("str", Value("hello"));
+
+  Value parsed;
+  ASSERT_TRUE(Value::Parse(doc.Dump(), &parsed));
+  EXPECT_TRUE(parsed.Get("null_member")->is_null());
+  EXPECT_TRUE(parsed.Get("yes")->AsBool());
+  EXPECT_FALSE(parsed.Get("no")->AsBool());
+  EXPECT_EQ(parsed.Get("int")->AsInt(), -12345);
+  EXPECT_EQ(parsed.Get("big")->AsInt(), int64_t{1} << 52);
+  EXPECT_DOUBLE_EQ(parsed.GetDouble("pi"), 3.14159265358979);
+  EXPECT_EQ(parsed.GetString("str"), "hello");
+}
+
+TEST(JsonTest, IntegersSerializeWithoutExponent) {
+  Value v(uint64_t{4194304});
+  EXPECT_EQ(v.Dump(), "4194304");
+  Value neg(int64_t{-7});
+  EXPECT_EQ(neg.Dump(), "-7");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Value doc = Value::MakeObject();
+  doc.Set("s", Value("quote\" backslash\\ newline\n tab\t ctrl\x01"));
+  Value parsed;
+  ASSERT_TRUE(Value::Parse(doc.Dump(), &parsed));
+  EXPECT_EQ(parsed.GetString("s"), "quote\" backslash\\ newline\n tab\t ctrl\x01");
+}
+
+TEST(JsonTest, NestedContainersRoundTrip) {
+  Value row = Value::MakeObject();
+  row.Set("filter", Value("PF[TC]"));
+  Value metrics = Value::MakeObject();
+  metrics.Set("query_mops", Value(123.456));
+  metrics.Set("fpr", Value(0.0038));
+  row.Set("metrics", std::move(metrics));
+  Value results = Value::MakeArray();
+  results.Append(std::move(row));
+  Value doc = Value::MakeObject();
+  doc.Set("schema", Value("prefixfilter-bench-v1"));
+  doc.Set("results", std::move(results));
+
+  for (int indent : {0, 2}) {
+    Value parsed;
+    ASSERT_TRUE(Value::Parse(doc.Dump(indent), &parsed)) << indent;
+    const Value* parsed_results = parsed.Get("results");
+    ASSERT_NE(parsed_results, nullptr);
+    ASSERT_EQ(parsed_results->AsArray().size(), 1u);
+    const Value& parsed_row = parsed_results->AsArray()[0];
+    EXPECT_EQ(parsed_row.GetString("filter"), "PF[TC]");
+    EXPECT_DOUBLE_EQ(parsed_row.Get("metrics")->GetDouble("fpr"), 0.0038);
+  }
+}
+
+TEST(JsonTest, ObjectSetOverwritesAndPreservesOrder) {
+  Value doc = Value::MakeObject();
+  doc.Set("a", Value(1));
+  doc.Set("b", Value(2));
+  doc.Set("a", Value(3));
+  ASSERT_EQ(doc.AsObject().size(), 2u);
+  EXPECT_EQ(doc.AsObject()[0].first, "a");
+  EXPECT_EQ(doc.GetDouble("a"), 3);
+  EXPECT_EQ(doc.Get("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("missing", -1.0), -1.0);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  Value out;
+  std::string error;
+  EXPECT_FALSE(Value::Parse("", &out, &error));
+  EXPECT_FALSE(Value::Parse("{", &out, &error));
+  EXPECT_FALSE(Value::Parse("{\"a\":}", &out, &error));
+  EXPECT_FALSE(Value::Parse("[1,2,]", &out, &error));
+  EXPECT_FALSE(Value::Parse("\"unterminated", &out, &error));
+  EXPECT_FALSE(Value::Parse("{\"a\":1} trailing", &out, &error));
+  EXPECT_FALSE(Value::Parse("nulll", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndUnicodeEscapes) {
+  Value out;
+  ASSERT_TRUE(Value::Parse("  { \"a\" : [ 1 , \"\\u0041\" ] }\n", &out));
+  EXPECT_EQ(out.Get("a")->AsArray()[1].AsString(), "A");
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  Value doc = Value::MakeObject();
+  doc.Set("inf", Value(1.0 / 0.0));
+  Value parsed;
+  ASSERT_TRUE(Value::Parse(doc.Dump(), &parsed));
+  EXPECT_TRUE(parsed.Get("inf")->is_null());
+}
+
+}  // namespace
+}  // namespace prefixfilter::json

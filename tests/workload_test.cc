@@ -1,0 +1,223 @@
+// Tests for src/workload/: determinism under a fixed seed, zipfian skew
+// sanity, guaranteed-negative disjointness, ground-truth consistency, and
+// the interleaved op stream's invariants.
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/workload/zipf.h"
+
+namespace prefixfilter::workload {
+namespace {
+
+constexpr uint64_t kKeys = 8192;
+constexpr uint64_t kQueries = 1 << 16;
+constexpr uint64_t kSeed = 0xfeedbeefULL;
+
+Spec BaseSpec(const std::string& name) {
+  Spec spec;
+  if (!FindStandardSpec(name, kKeys, kQueries, kSeed, &spec)) {
+    ADD_FAILURE() << "unknown standard spec " << name;
+  }
+  return spec;
+}
+
+TEST(WorkloadTest, StandardSuiteHasFiveNamedWorkloads) {
+  const auto suite = StandardSuite(kKeys, kQueries, kSeed);
+  ASSERT_EQ(suite.size(), 5u);
+  std::unordered_set<std::string> names;
+  for (const auto& spec : suite) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    EXPECT_EQ(spec.num_keys, kKeys);
+    EXPECT_EQ(spec.num_queries, kQueries);
+    EXPECT_EQ(spec.seed, kSeed);
+  }
+  Spec unused;
+  EXPECT_FALSE(FindStandardSpec("no-such-workload", 1, 1, 1, &unused));
+}
+
+TEST(WorkloadTest, GenerationIsDeterministicUnderFixedSeed) {
+  for (const auto& spec : StandardSuite(kKeys, kQueries, kSeed)) {
+    const Stream a = Generate(spec);
+    const Stream b = Generate(spec);
+    EXPECT_EQ(a.insert_keys, b.insert_keys) << spec.name;
+    EXPECT_EQ(a.queries, b.queries) << spec.name;
+    EXPECT_EQ(a.query_expected, b.query_expected) << spec.name;
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsProduceDifferentStreams) {
+  Spec spec = BaseSpec("uniform-negative");
+  const Stream a = Generate(spec);
+  spec.seed ^= 1;
+  const Stream b = Generate(spec);
+  EXPECT_NE(a.insert_keys, b.insert_keys);
+  EXPECT_NE(a.queries, b.queries);
+}
+
+TEST(WorkloadTest, ChangingQueryCountKeepsInsertKeysStable) {
+  Spec spec = BaseSpec("mixed-50-50");
+  const Stream a = Generate(spec);
+  spec.num_queries /= 2;
+  const Stream b = Generate(spec);
+  EXPECT_EQ(a.insert_keys, b.insert_keys);
+}
+
+TEST(WorkloadTest, DisjointNegativesNeverHitInsertedSet) {
+  const Stream s = Generate(BaseSpec("disjoint-negative"));
+  ASSERT_EQ(s.queries.size(), kQueries);
+  EXPECT_EQ(s.NumNegativeQueries(), kQueries);
+  const std::unordered_set<uint64_t> inserted(s.insert_keys.begin(),
+                                              s.insert_keys.end());
+  constexpr uint64_t kMsb = uint64_t{1} << 63;
+  for (uint64_t k : s.insert_keys) {
+    EXPECT_EQ(k & kMsb, 0u) << "insert key escaped the lower half-universe";
+  }
+  for (uint64_t q : s.queries) {
+    EXPECT_NE(q & kMsb, 0u) << "negative query escaped the upper half";
+    EXPECT_EQ(inserted.count(q), 0u);
+  }
+}
+
+TEST(WorkloadTest, GroundTruthMatchesInsertedSet) {
+  const Stream s = Generate(BaseSpec("mixed-50-50"));
+  const std::unordered_set<uint64_t> inserted(s.insert_keys.begin(),
+                                              s.insert_keys.end());
+  uint64_t positives = 0;
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    if (s.query_expected[i]) {
+      EXPECT_EQ(inserted.count(s.queries[i]), 1u);
+      ++positives;
+    } else {
+      // Uniform negatives collide with 8192 inserted keys with probability
+      // ~ 2^-50 per query; the fixed seed makes this check deterministic.
+      EXPECT_EQ(inserted.count(s.queries[i]), 0u);
+    }
+  }
+  // ~50/50 mix (binomial; 6 sigma ~ 0.6% at 64k queries).
+  EXPECT_NEAR(static_cast<double>(positives) / s.queries.size(), 0.5, 0.02);
+}
+
+TEST(WorkloadTest, ZipfianSkewConcentratesOnPopularRanks) {
+  const Stream s = Generate(BaseSpec("zipf-positive"));
+  EXPECT_EQ(s.NumNegativeQueries(), 0u);
+
+  // Frequency of the most popular key: zipf(0.99) gives rank 0 probability
+  // ~ 1/H(n) ~ 10%, vs 1/8192 ~ 0.012% under uniform sampling.
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t q : s.queries) ++counts[q];
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  const double top_frac =
+      static_cast<double>(max_count) / static_cast<double>(s.queries.size());
+  EXPECT_GT(top_frac, 0.05) << "zipf head not heavy enough";
+
+  // Top-1% of distinct keys should cover well over half the stream
+  // (uniform would cover ~1%).
+  std::vector<uint64_t> freqs;
+  for (const auto& [key, count] : counts) freqs.push_back(count);
+  std::sort(freqs.rbegin(), freqs.rend());
+  uint64_t head = 0;
+  const size_t one_pct = std::max<size_t>(1, kKeys / 100);
+  for (size_t i = 0; i < std::min(one_pct, freqs.size()); ++i) head += freqs[i];
+  EXPECT_GT(static_cast<double>(head) / s.queries.size(), 0.5);
+}
+
+TEST(WorkloadTest, ZipfianGeneratorStaysInRangeAndIsDeterministic) {
+  ZipfianGenerator zipf(1000, 0.99);
+  Xoshiro256 rng_a(7), rng_b(7);
+  ZipfianGenerator zipf_b(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t a = zipf.Next(rng_a);
+    ASSERT_LT(a, 1000u);
+    ASSERT_EQ(a, zipf_b.Next(rng_b));
+  }
+}
+
+TEST(WorkloadTest, AdversarialHotSetDominatesStream) {
+  const Stream s = Generate(BaseSpec("adversarial-dup"));
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t q : s.queries) ++counts[q];
+  // 90% of ~64k queries land on 64 hot keys: the 64 most frequent keys
+  // must cover ~90% of the stream.
+  std::vector<uint64_t> freqs;
+  for (const auto& [key, count] : counts) freqs.push_back(count);
+  std::sort(freqs.rbegin(), freqs.rend());
+  uint64_t head = 0;
+  for (size_t i = 0; i < 64 && i < freqs.size(); ++i) head += freqs[i];
+  EXPECT_NEAR(static_cast<double>(head) / s.queries.size(), 0.9, 0.02);
+  // The hot set mixes present and absent keys.
+  EXPECT_GT(s.NumNegativeQueries(), kQueries / 4);
+  EXPECT_LT(s.NumNegativeQueries(), 3 * kQueries / 4);
+}
+
+TEST(WorkloadTest, InterleavedOpsRespectCapacityAndGroundTruth) {
+  Spec spec;
+  spec.name = "mixed-rw";
+  spec.num_keys = kKeys;
+  spec.num_queries = kQueries;
+  spec.insert_ratio = 0.25;
+  spec.positive_fraction = 0.5;
+  spec.seed = kSeed;
+  const Stream s = Generate(spec);
+  ASSERT_EQ(s.ops.size(), kKeys + kQueries);
+
+  std::unordered_set<uint64_t> inserted;
+  uint64_t inserts = 0;
+  for (const Op& op : s.ops) {
+    if (op.is_insert) {
+      // Inserts replay insert_keys in order (so capacity is never exceeded).
+      ASSERT_LT(inserts, s.insert_keys.size());
+      EXPECT_EQ(op.key, s.insert_keys[inserts]);
+      inserted.insert(op.key);
+      ++inserts;
+    } else if (op.expected_positive) {
+      EXPECT_EQ(inserted.count(op.key), 1u)
+          << "positive query before its key was inserted";
+    } else {
+      EXPECT_EQ(inserted.count(op.key), 0u);
+    }
+  }
+  EXPECT_EQ(inserts, kKeys);
+
+  // Deterministic too.
+  const Stream again = Generate(spec);
+  ASSERT_EQ(again.ops.size(), s.ops.size());
+  for (size_t i = 0; i < s.ops.size(); ++i) {
+    ASSERT_EQ(s.ops[i].key, again.ops[i].key);
+    ASSERT_EQ(s.ops[i].is_insert, again.ops[i].is_insert);
+  }
+}
+
+TEST(WorkloadTest, RoundWorkloadShapesAndDeterminism) {
+  const RoundWorkload a = RoundWorkload::Generate(10000, 10, kSeed);
+  const RoundWorkload b = RoundWorkload::Generate(10000, 10, kSeed);
+  EXPECT_EQ(a.insert_keys, b.insert_keys);
+  ASSERT_EQ(a.uniform_queries.size(), 10u);
+  ASSERT_EQ(a.positive_queries.size(), 10u);
+  std::unordered_set<uint64_t> inserted(a.insert_keys.begin(),
+                                        a.insert_keys.end());
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(a.uniform_queries[round].size(), 1000u);
+    EXPECT_EQ(a.uniform_queries[round], b.uniform_queries[round]);
+    // Positive queries sample keys inserted by the end of this round.
+    const uint64_t limit = 1000 * (round + 1);
+    for (uint64_t q : a.positive_queries[round]) {
+      bool found = false;
+      for (uint64_t i = 0; i < limit && !found; ++i) {
+        found = a.insert_keys[i] == q;
+      }
+      EXPECT_TRUE(found);
+    }
+    if (round > 2) break;  // the inner scan is quadratic; three rounds suffice
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter::workload
