@@ -11,20 +11,31 @@
 //
 // Usage:
 //   bench_all [--quick] [--n-log2=L] [--seed=S] [--out=BENCH.json]
-//             [--filters=A,B,...] [--workloads=a,b,...]
+//             [--filters=A,B,...] [--workloads=a,b,...] [--all-filters]
+//             [--concrete]
 //
 // --quick is the CI smoke scale (n = 0.94 * 2^16); compare runs against
 // bench/baseline.json with bench_compare.  Filters run through AnyFilter, so
 // the virtual-dispatch cost is part of every measured cell (identical across
-// configurations, which is what a comparative sweep wants).
+// configurations, which is what a comparative sweep wants).  --concrete
+// instead sweeps filters through their concrete types (no virtual dispatch,
+// the regime the paper's figures measure) AND through AnyFilter, reporting
+// the dispatch tax side by side.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "src/core/filter_factory.h"
+#include "src/core/prefix_filter.h"
+#include "src/core/spare.h"
+#include "src/filters/blocked_bloom.h"
+#include "src/filters/bloom.h"
+#include "src/filters/cuckoo.h"
+#include "src/filters/twochoicer.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -36,25 +47,17 @@ using prefixfilter::MakeFilter;
 
 // The default sweep: the paper's main contenders plus the sharded service
 // configuration.  (KnownFilterNames() has 16+ entries; this is the curated
-// subset the baseline pins so the smoke job stays fast.)
+// subset the baseline pins so the smoke job stays fast.)  QF is demoted
+// behind --all-filters until its rank/select query acceleration lands: its
+// query throughput collapses to ~1.3 Mops/s at full load (ROADMAP), which
+// the CI bench-smoke job should not pay for on every PR.
 const char* kDefaultFilters[] = {
     "BF-12",        "BBF-Flex",      "CF-8",    "CF-12-Flex", "TC",
-    "QF",           "PF[BBF-Flex]",  "PF[CF12-Flex]",
+    "PF[BBF-Flex]", "PF[CF12-Flex]",
     "PF[TC]",       "SHARD16[PF[TC]]",
 };
 
-std::vector<std::string> Split(const std::string& csv) {
-  std::vector<std::string> out;
-  size_t begin = 0;
-  while (begin <= csv.size()) {
-    const size_t comma = csv.find(',', begin);
-    const size_t end = comma == std::string::npos ? csv.size() : comma;
-    if (end > begin) out.push_back(csv.substr(begin, end - begin));
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
-  }
-  return out;
-}
+const char* kDemotedFilters[] = {"QF"};
 
 // Accumulated best-of-repeats state for one (filter x workload) cell.
 //
@@ -142,6 +145,160 @@ bool RunInterleavedOnce(const std::string& filter_name,
   return true;
 }
 
+// --- --concrete: dispatch-tax sweep ------------------------------------------
+
+// One timed pass with the CONCRETE filter type: the harness helpers are
+// templates, so Insert/Contains inline and no virtual call sits in the timed
+// loops — the regime the paper's figure benches (and micro_*) measure.
+template <typename Filter>
+void RunConcreteOnce(Filter&& filter, const workload::Stream& stream,
+                     Cell* cell) {
+  const bench::PhaseStats ins = bench::TimedInserts(
+      filter, stream.insert_keys, 0, stream.insert_keys.size());
+  const bench::PhaseStats qry = bench::TimedQueries(filter, stream.queries);
+  cell->MergeBest(ins, qry, !cell->ok);
+  cell->ok = true;
+}
+
+struct ConcreteEntry {
+  const char* name;  // the factory name the concrete construction mirrors
+  std::function<void(const workload::Stream&, uint64_t seed, Cell*)> run;
+};
+
+// Concrete constructions mirroring MakeFilter's parameters exactly (same
+// bits/key, hash counts, and seeds), so the AnyFilter cell measured next to
+// each differs only by the virtual-dispatch wrapper.
+std::vector<ConcreteEntry> ConcreteRegistry() {
+  using prefixfilter::BlockedBloomFilter;
+  using prefixfilter::BloomFilter;
+  using prefixfilter::CuckooFilter12;
+  using prefixfilter::PrefixFilter;
+  using prefixfilter::PrefixFilterOptions;
+  using prefixfilter::TwoChoicer;
+  const auto pf_options = [](uint64_t seed) {
+    PrefixFilterOptions o;
+    o.seed = seed;
+    return o;
+  };
+  return {
+      {"BF-12",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(BloomFilter(s.spec.num_keys, 12.0, 8, seed), s, c);
+       }},
+      {"BBF-Flex",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(
+             BlockedBloomFilter::MakeFlexible(s.spec.num_keys, 10.67, seed),
+             s, c);
+       }},
+      {"CF-12-Flex",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(CuckooFilter12(s.spec.num_keys, true, seed), s, c);
+       }},
+      {"TC",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(TwoChoicer(s.spec.num_keys, seed), s, c);
+       }},
+      {"PF[BBF-Flex]",
+       [pf_options](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(PrefixFilter<prefixfilter::SpareBbfTraits>(
+                             s.spec.num_keys, pf_options(seed)),
+                         s, c);
+       }},
+      {"PF[CF12-Flex]",
+       [pf_options](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(PrefixFilter<prefixfilter::SpareCf12Traits>(
+                             s.spec.num_keys, pf_options(seed)),
+                         s, c);
+       }},
+      {"PF[TC]",
+       [pf_options](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(PrefixFilter<prefixfilter::SpareTcTraits>(
+                             s.spec.num_keys, pf_options(seed)),
+                         s, c);
+       }},
+  };
+}
+
+double TaxPct(double concrete_mops, double any_mops) {
+  return concrete_mops > 0
+             ? 100.0 * (concrete_mops - any_mops) / concrete_mops
+             : 0.0;
+}
+
+// Sweeps the concrete registry x suite, measuring each cell both through the
+// concrete type and through AnyFilter, and emits one row per cell with the
+// dispatch tax (how much of the concrete rate the virtual wrapper costs).
+int RunConcreteSweep(const std::vector<std::string>& filters,
+                     const std::vector<workload::Spec>& suite,
+                     const bench::Options& options, int repeats,
+                     bench::BenchRunner* runner) {
+  // Respect the filter selection (--filters / --all-filters): sweep the
+  // intersection with the concrete registry, and say which selected names
+  // have no concrete construction instead of silently ignoring them.
+  std::vector<ConcreteEntry> registry;
+  std::string skipped;
+  for (const auto& name : filters) {
+    bool found = false;
+    for (auto& entry : ConcreteRegistry()) {
+      if (entry.name == name) {
+        registry.push_back(std::move(entry));
+        found = true;
+        break;
+      }
+    }
+    if (!found) skipped += (skipped.empty() ? "" : ", ") + name;
+  }
+  if (!skipped.empty()) {
+    std::printf("bench_all: no concrete construction for: %s (skipped)\n",
+                skipped.c_str());
+  }
+  if (registry.empty()) {
+    std::fprintf(stderr,
+                 "bench_all: none of the selected filters has a concrete "
+                 "construction\n");
+    return 2;
+  }
+  // Throwaway warm-up of BOTH paths: the dispatch tax is the one quantity
+  // this mode measures, so neither side may absorb process cold-start costs
+  // (page faults, frequency ramp-up) that the other side skips.
+  if (!suite.empty() && !registry.empty()) {
+    const workload::Stream warm = workload::Generate(suite.front());
+    Cell discard_concrete, discard_any;
+    registry.front().run(warm, options.seed, &discard_concrete);
+    (void)RunCellOnce(registry.front().name, warm, options, false,
+                      &discard_any);
+  }
+  for (const auto& spec : suite) {
+    const workload::Stream stream = workload::Generate(spec);
+    for (const auto& entry : registry) {
+      Cell concrete, any;
+      for (int rep = 0; rep < repeats; ++rep) {
+        entry.run(stream, options.seed, &concrete);
+        if (!RunCellOnce(entry.name, stream, options, false, &any)) return 2;
+      }
+      const double insert_tax = TaxPct(concrete.ins.Mops(), any.ins.Mops());
+      const double query_tax = TaxPct(concrete.qry.Mops(), any.qry.Mops());
+      prefixfilter::json::Value metrics = bench::PhaseMetrics(concrete.ins,
+                                                              "insert");
+      const prefixfilter::json::Value query_metrics =
+          bench::PhaseMetrics(concrete.qry, "query");
+      for (const auto& [k, v] : query_metrics.AsObject()) metrics.Set(k, v);
+      metrics.Set("any_insert_mops", any.ins.Mops());
+      metrics.Set("any_query_mops", any.qry.Mops());
+      metrics.Set("insert_dispatch_tax_pct", insert_tax);
+      metrics.Set("query_dispatch_tax_pct", query_tax);
+      std::printf("  %-14s x %-18s concrete %7.1f / any %7.1f Mops/s query"
+                  "  (tax %+5.1f%%)\n",
+                  entry.name, spec.name.c_str(), concrete.qry.Mops(),
+                  any.qry.Mops(), query_tax);
+      runner->Add(std::string(entry.name) + "#concrete", spec.name,
+                  std::move(metrics));
+    }
+  }
+  return 0;
+}
+
 prefixfilter::json::Value CellMetrics(const Cell& cell, bool interleaved) {
   prefixfilter::json::Value metrics =
       interleaved ? bench::PhaseMetrics(cell.ops, "ops")
@@ -163,26 +320,42 @@ int main(int argc, char** argv) {
                                    std::end(kDefaultFilters));
   std::vector<std::string> workload_names;
   std::string out_path;
+  bool all_filters = false;
+  bool concrete = false;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--filters=", 0) == 0) {
-      filters = Split(arg.substr(10));
+      filters = bench::SplitCsv(arg.substr(10));
     } else if (arg.rfind("--workloads=", 0) == 0) {
-      workload_names = Split(arg.substr(12));
+      workload_names = bench::SplitCsv(arg.substr(12));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg == "--all-filters") {
+      all_filters = true;
+    } else if (arg == "--concrete") {
+      concrete = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_all [--quick] [--n-log2=L] [--seed=S]\n"
           "                 [--out=BENCH.json] [--filters=A,B,...]\n"
-          "                 [--workloads=a,b,...]\n"
+          "                 [--workloads=a,b,...] [--all-filters]\n"
+          "                 [--concrete]\n"
           "workloads: uniform-negative mixed-50-50 zipf-positive\n"
           "           adversarial-dup disjoint-negative (default: all,\n"
-          "           plus the interleaved mixed-rw-25i stream)\n");
+          "           plus the interleaved mixed-rw-25i stream)\n"
+          "--all-filters: include the demoted configurations (QF)\n"
+          "--concrete: dispatch-tax sweep through concrete filter types\n");
       return 0;
     } else {
       passthrough.push_back(argv[i]);
+    }
+  }
+  if (all_filters) {
+    for (const char* demoted : kDemotedFilters) {
+      bool present = false;
+      for (const auto& f : filters) present |= f == demoted;
+      if (!present) filters.push_back(demoted);
     }
   }
   bench::Options options = bench::ParseOptions(
@@ -229,6 +402,16 @@ int main(int argc, char** argv) {
   // absorb process cold-start costs (page faults on the key arrays,
   // frequency ramp-up).
   const int repeats = options.quick ? 5 : 1;
+
+  if (concrete) {
+    const int rc = RunConcreteSweep(filters, suite, options, repeats, &runner);
+    if (rc != 0) return rc;
+    if (!runner.WriteJsonIfRequested()) return 1;
+    std::printf("bench_all: %zu concrete results -> %s\n",
+                runner.NumResults(), out_path.c_str());
+    return 0;
+  }
+
   if (!suite.empty() && !filters.empty()) {
     const workload::Stream warm = workload::Generate(suite.front());
     Cell discard;

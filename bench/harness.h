@@ -88,6 +88,20 @@ struct Options {
   }
 };
 
+// Splits a comma-separated flag value ("A,B,C"); empty segments dropped.
+inline std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    const size_t comma = csv.find(',', begin);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
 // Parses --n-log2=<L>, --seed=<S>, --rounds=<R>, --csv, --quick,
 // --json=<PATH>.  Unknown flags abort with a usage message (benches take no
 // positional arguments).  --quick lowers n/rounds unless explicitly set.

@@ -1,0 +1,390 @@
+// net_loadgen: multi-connection load generator for the membership service.
+//
+// Drives src/workload query streams over the wire protocol against a
+// MembershipServer — either an external one (--connect=host:port, the CI
+// loopback smoke leg starts `example_membership_server --serve` first) or a
+// self-hosted in-process server on an ephemeral loopback port (the default,
+// so `bench_net_loadgen --quick` is self-contained).
+//
+// Measurement: one pipelined insert phase loads the workload's key set, then
+// each query workload runs over C connections (one thread + one
+// MembershipClient each), every thread sweeping its slice of the stream in
+// pipeline windows of `--batch x --depth` keys.  Windows are the timing
+// chunks, so the emitted ns/op p50/p90/p99 are end-to-end network latencies
+// per key under pipelining, in the same prefixfilter-bench-v1 JSON rows
+// (with query_mops / query_ns_* metric keys) as every other bench.
+//
+// Verification (exit code 1 on any failure — the CI smoke leg relies on it):
+//  * zero transport/protocol errors on every connection,
+//  * zero false negatives against the workload's ground truth,
+//  * nonzero query throughput,
+//  * the server's per-shard STATS query counters grew by at least the number
+//    of keys this run queried — the observable proof that socket traffic
+//    rode the BatchRouter/shard path rather than some scalar bypass.
+//
+// Usage:
+//   bench_net_loadgen [--quick] [--n-log2=L] [--seed=S] [--json=PATH]
+//                     [--connect=host:port] [--filter=NAME] [--threads=T]
+//                     [--connections=C] [--batch=B] [--depth=D]
+//                     [--front-cache=SLOTS] [--workloads=a,b,...]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/net/membership_client.h"
+#include "src/net/membership_server.h"
+#include "src/service/filter_service.h"
+#include "src/service/sharded_filter.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+namespace bench = prefixfilter::bench;
+namespace net = prefixfilter::net;
+namespace workload = prefixfilter::workload;
+
+struct LoadgenConfig {
+  std::string connect;  // empty = self-host
+  std::string filter = "SHARD16[PF[TC]]";
+  uint32_t service_threads = 0;  // self-host: 0 = serve on the event loop
+  size_t front_cache_slots = 0;
+  int connections = 4;
+  size_t batch = 4096;
+  size_t depth = 4;
+  std::vector<std::string> workloads = {"uniform-negative", "mixed-50-50",
+                                        "adversarial-dup"};
+};
+
+// Per-thread query-phase result.
+struct WorkerResult {
+  bool ok = false;
+  std::string error;
+  uint64_t keys = 0;
+  uint64_t false_negatives = 0;
+  uint64_t false_positives = 0;
+  uint64_t negatives = 0;  // ground-truth absent (FPR denominator)
+  std::vector<double> chunk_ns;
+};
+
+void RunQuerySlice(const net::ClientOptions& client_options,
+                   const workload::Stream& stream, size_t begin, size_t end,
+                   WorkerResult* result) {
+  net::MembershipClient client(client_options);
+  if (!client.Connect()) {
+    result->error = client.error();
+    return;
+  }
+  const size_t window = client_options.max_batch_keys *
+                        client_options.pipeline_depth;
+  std::vector<uint8_t> answers;
+  for (size_t base = begin; base < end; base += window) {
+    const size_t count = std::min(window, end - base);
+    bench::Timer timer;
+    if (!client.QueryPipelined(stream.queries.data() + base, count,
+                               &answers)) {
+      result->error = client.error();
+      return;
+    }
+    result->chunk_ns.push_back(timer.Seconds() * 1e9 /
+                               static_cast<double>(count));
+    for (size_t i = 0; i < count; ++i) {
+      if (stream.query_expected[base + i]) {
+        result->false_negatives += !answers[i];
+      } else {
+        ++result->negatives;
+        result->false_positives += answers[i];
+      }
+    }
+    result->keys += count;
+  }
+  if (client.remote_errors() != 0) {
+    result->error = "server returned error frames: " + client.error();
+    return;
+  }
+  result->ok = true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenConfig config;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      config.connect = arg.substr(10);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      config.filter = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.service_threads =
+          static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--front-cache=", 0) == 0) {
+      config.front_cache_slots =
+          static_cast<size_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      config.connections = std::max(1, std::atoi(arg.c_str() + 14));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      config.batch = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--depth=", 0) == 0) {
+      config.depth = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--workloads=", 0) == 0) {
+      config.workloads = bench::SplitCsv(arg.substr(12));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_net_loadgen [--quick] [--n-log2=L] [--seed=S]\n"
+          "         [--json=PATH] [--connect=host:port] [--filter=NAME]\n"
+          "         [--threads=T] [--connections=C] [--batch=B] [--depth=D]\n"
+          "         [--front-cache=SLOTS] [--workloads=a,b,...]\n"
+          "Self-hosts an in-process loopback server unless --connect is\n"
+          "given.  Workloads must share one insert stream (any standard\n"
+          "workload except disjoint-negative).\n");
+      return 0;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::Options options = bench::ParseOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+
+  const uint64_t n = options.n();
+  const uint64_t num_queries =
+      options.quick ? std::max<uint64_t>(n, uint64_t{1} << 17) : n;
+
+  // Generate every workload up front and check the shared-insert-set
+  // invariant: the server is loaded once, so every stream's ground truth
+  // must describe the same inserted keys.
+  std::vector<workload::Stream> streams;
+  for (const auto& name : config.workloads) {
+    workload::Spec spec;
+    if (!workload::FindStandardSpec(name, n, num_queries, options.seed,
+                                    &spec)) {
+      std::fprintf(stderr, "net_loadgen: unknown workload %s\n", name.c_str());
+      return 2;
+    }
+    streams.push_back(workload::Generate(spec));
+    if (streams.back().insert_keys != streams.front().insert_keys) {
+      std::fprintf(stderr,
+                   "net_loadgen: workload %s has a different insert stream "
+                   "(disjoint-negative cannot share a server)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  if (streams.empty()) {
+    std::fprintf(stderr, "net_loadgen: no workloads\n");
+    return 2;
+  }
+  const std::vector<uint64_t>& insert_keys = streams.front().insert_keys;
+
+  // Self-host unless --connect points at an external server.
+  std::shared_ptr<prefixfilter::FilterService> service;
+  std::unique_ptr<net::MembershipServer> server;
+  net::ClientOptions client_options;
+  client_options.max_batch_keys = config.batch;
+  client_options.pipeline_depth = config.depth;
+  if (config.connect.empty()) {
+    prefixfilter::FilterServiceOptions service_options;
+    service_options.num_threads = config.service_threads;
+    service_options.front_cache_slots = config.front_cache_slots;
+    service = prefixfilter::MakeFilterService(config.filter, n,
+                                              service_options, options.seed);
+    if (service == nullptr) {
+      std::fprintf(stderr, "net_loadgen: unknown filter %s\n",
+                   config.filter.c_str());
+      return 2;
+    }
+    server = std::make_unique<net::MembershipServer>(service);
+    if (!server->Start()) {
+      std::fprintf(stderr, "net_loadgen: server start failed: %s\n",
+                   server->error().c_str());
+      return 1;
+    }
+    client_options.port = server->port();
+    std::printf("net_loadgen: self-hosted %s on 127.0.0.1:%u (%s)\n",
+                config.filter.c_str(), client_options.port,
+                server->poller_name());
+  } else {
+    const size_t colon = config.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "net_loadgen: --connect wants host:port\n");
+      return 2;
+    }
+    client_options.host = config.connect.substr(0, colon);
+    client_options.port = static_cast<uint16_t>(
+        std::atoi(config.connect.c_str() + colon + 1));
+    std::printf("net_loadgen: connecting to %s:%u\n",
+                client_options.host.c_str(), client_options.port);
+  }
+
+  bench::BenchRunner runner("net_loadgen", options);
+  net::MembershipClient control(client_options);
+  net::WireStats before;
+  if (!control.Connect() || !control.Stats(&before)) {
+    std::fprintf(stderr, "net_loadgen: cannot reach server: %s\n",
+                 control.error().c_str());
+    return 1;
+  }
+  std::printf("net_loadgen: server filter %s (capacity %" PRIu64
+              ", %zu shards)\n",
+              before.filter_name.c_str(), before.capacity,
+              before.shards.size());
+
+  // --- insert phase (one connection; batch-per-RPC chunks) ------------------
+  bench::PhaseStats insert_stats;
+  {
+    std::vector<double> chunk_ns;
+    bench::Timer total;
+    for (size_t base = 0; base < insert_keys.size(); base += config.batch) {
+      const size_t count = std::min(config.batch, insert_keys.size() - base);
+      uint64_t failures = 0;
+      bench::Timer chunk;
+      if (!control.InsertBatch(insert_keys.data() + base, count, &failures)) {
+        std::fprintf(stderr, "net_loadgen: insert failed: %s\n",
+                     control.error().c_str());
+        return 1;
+      }
+      chunk_ns.push_back(chunk.Seconds() * 1e9 / static_cast<double>(count));
+      insert_stats.failures += failures;
+    }
+    insert_stats.seconds = total.Seconds();
+    insert_stats.ops = insert_keys.size();
+    bench::internal::FillPercentiles(chunk_ns, &insert_stats);
+  }
+  {
+    prefixfilter::json::Value metrics = bench::PhaseMetrics(insert_stats,
+                                                            "insert");
+    metrics.Set("insert_failures", insert_stats.failures);
+    metrics.Set("connections", 1);
+    metrics.Set("batch_keys", static_cast<uint64_t>(config.batch));
+    std::printf("  insert            %8.2f Mops/s  p50 %7.0f ns/op  "
+                "p99 %7.0f ns/op  (%" PRIu64 " rejected)\n",
+                insert_stats.Mops(), insert_stats.ns_p50, insert_stats.ns_p99,
+                insert_stats.failures);
+    runner.Add(before.filter_name, "net-insert", std::move(metrics));
+  }
+
+  // --- query phases ---------------------------------------------------------
+  bool failed = false;
+  uint64_t total_queried = 0;
+  for (size_t w = 0; w < streams.size(); ++w) {
+    const workload::Stream& stream = streams[w];
+    const int threads =
+        static_cast<int>(std::min<size_t>(config.connections,
+                                          std::max<size_t>(1, stream.queries.size() /
+                                                                  config.batch)));
+    std::vector<WorkerResult> results(threads);
+    std::vector<std::thread> pool;
+    const size_t per_thread = stream.queries.size() / threads;
+    bench::Timer wall;
+    for (int t = 0; t < threads; ++t) {
+      const size_t begin = t * per_thread;
+      const size_t end =
+          t == threads - 1 ? stream.queries.size() : begin + per_thread;
+      pool.emplace_back(RunQuerySlice, client_options, std::cref(stream),
+                        begin, end, &results[t]);
+    }
+    for (auto& th : pool) th.join();
+    const double seconds = wall.Seconds();
+
+    bench::PhaseStats query_stats;
+    uint64_t false_negatives = 0, false_positives = 0, negatives = 0;
+    std::vector<double> chunk_ns;
+    for (const WorkerResult& r : results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "net_loadgen: %s: connection failed: %s\n",
+                     stream.spec.name.c_str(), r.error.c_str());
+        failed = true;
+      }
+      query_stats.ops += r.keys;
+      false_negatives += r.false_negatives;
+      false_positives += r.false_positives;
+      negatives += r.negatives;
+      chunk_ns.insert(chunk_ns.end(), r.chunk_ns.begin(), r.chunk_ns.end());
+    }
+    query_stats.seconds = seconds;
+    bench::internal::FillPercentiles(chunk_ns, &query_stats);
+    total_queried += query_stats.ops;
+    if (false_negatives != 0) {
+      std::fprintf(stderr, "net_loadgen: %s: %" PRIu64
+                   " FALSE NEGATIVES over the wire\n",
+                   stream.spec.name.c_str(), false_negatives);
+      failed = true;
+    }
+    if (query_stats.Mops() <= 0.0) {
+      std::fprintf(stderr, "net_loadgen: %s: zero throughput\n",
+                   stream.spec.name.c_str());
+      failed = true;
+    }
+
+    prefixfilter::json::Value metrics =
+        bench::PhaseMetrics(query_stats, "query");
+    metrics.Set("fpr", negatives > 0 ? static_cast<double>(false_positives) /
+                                           static_cast<double>(negatives)
+                                     : 0.0);
+    metrics.Set("false_negatives", false_negatives);
+    metrics.Set("connections", threads);
+    metrics.Set("batch_keys", static_cast<uint64_t>(config.batch));
+    metrics.Set("pipeline_depth", static_cast<uint64_t>(config.depth));
+    std::printf("  %-17s %8.2f Mops/s  p50 %7.0f ns/op  p99 %7.0f ns/op"
+                "  fpr %.5f%%  (%d conns)\n",
+                stream.spec.name.c_str(), query_stats.Mops(),
+                query_stats.ns_p50, query_stats.ns_p99,
+                100.0 * metrics.GetDouble("fpr"), threads);
+    runner.Add(before.filter_name, stream.spec.name, std::move(metrics));
+  }
+
+  // --- STATS verification ---------------------------------------------------
+  net::WireStats after;
+  if (!control.Stats(&after)) {
+    std::fprintf(stderr, "net_loadgen: final STATS failed: %s\n",
+                 control.error().c_str());
+    return 1;
+  }
+  uint64_t shard_queries_before = 0, shard_queries_after = 0;
+  for (const auto& s : before.shards) shard_queries_before += s.queries;
+  for (const auto& s : after.shards) shard_queries_after += s.queries;
+  const uint64_t shard_delta = shard_queries_after - shard_queries_before;
+  // Front-cache hits legitimately bypass the shards; everything else must
+  // have gone through them.
+  const uint64_t cache_delta =
+      after.front_cache_hits - before.front_cache_hits;
+  if (shard_delta + cache_delta < total_queried) {
+    std::fprintf(stderr,
+                 "net_loadgen: shard counters grew by %" PRIu64
+                 " (+%" PRIu64 " cached) for %" PRIu64
+                 " queried keys — traffic bypassed the BatchRouter path\n",
+                 shard_delta, cache_delta, total_queried);
+    failed = true;
+  }
+  std::printf("net_loadgen: %" PRIu64 " keys over %zu shards "
+              "(%" PRIu64 " shard queries, %" PRIu64 " front-cache hits, "
+              "%" PRIu64 " query batches served)\n",
+              total_queried, after.shards.size(), shard_delta, cache_delta,
+              after.query_batches - before.query_batches);
+
+  if (server != nullptr) {
+    const net::ServerStats stats = server->stats();
+    if (stats.protocol_errors != 0) {
+      std::fprintf(stderr, "net_loadgen: server counted %" PRIu64
+                   " protocol errors\n",
+                   stats.protocol_errors);
+      failed = true;
+    }
+    std::printf("net_loadgen: server saw %" PRIu64 " frames on %" PRIu64
+                " connections, merged %" PRIu64 " pipelined query frames\n",
+                stats.frames_received, stats.connections_accepted,
+                stats.query_frames_merged);
+  }
+
+  if (!runner.WriteJsonIfRequested()) return 1;
+  if (failed) return 1;
+  std::printf("net_loadgen: OK\n");
+  return 0;
+}

@@ -166,6 +166,53 @@ int main(int argc, char** argv) {
     m.Set("batched_query_mops", mqps);
     runner.Add("PF[TC]", "mixed-50-50,threads=1", std::move(m));
   }
+
+  // Scalar fast path (ROADMAP: SHARD16 paid ~35-40% single-thread overhead
+  // on non-batched queries): 1-key ContainsBatch calls now route inline, so
+  // the sharded filter's scalar rate should sit within a few percent of its
+  // inner filter instead of paying the full counting-sort setup per key.
+  {
+    ShardedFilterOptions sharded_options;
+    sharded_options.num_shards = 16;
+    sharded_options.backend = "PF[TC]";
+    sharded_options.seed = options.seed;
+    auto sharded = ShardedFilter::Make(n, sharded_options);
+    auto inner = prefixfilter::MakeFilter("PF[TC]", n, options.seed);
+    sharded->InsertBatch(keys.data(), keys.size());
+    for (uint64_t k : keys) inner->Insert(k);
+
+    auto scalar_mqps = [&](const prefixfilter::AnyFilter& filter) {
+      uint64_t found = 0;
+      uint8_t one = 0;
+      prefixfilter::bench::Timer timer;
+      for (uint64_t k : stream) {
+        filter.ContainsBatch(&k, 1, &one);  // the 1-key batch fast path
+        found += one;
+      }
+      const double secs = timer.Seconds();
+      prefixfilter::bench::KeepAlive(found);
+      return prefixfilter::bench::OpsPerSec(stream.size(), secs) / 1e6;
+    };
+    const double sharded_mqps = scalar_mqps(*sharded);
+    const double inner_mqps = scalar_mqps(*inner);
+    const double overhead_pct =
+        inner_mqps > 0 ? 100.0 * (inner_mqps - sharded_mqps) / inner_mqps
+                       : 0.0;
+    if (options.csv) {
+      std::printf("SHARD16-scalar,1,%.2f,%.2f\nPF-scalar,1,%.2f,1.00\n",
+                  sharded_mqps, overhead_pct, inner_mqps);
+    } else {
+      std::printf("%-22s | %6.1f | vs inner %6.1f -> %+.1f%% overhead "
+                  "(scalar 1-key fast path)\n",
+                  "SHARD16[PF[TC]] scalar", sharded_mqps, inner_mqps,
+                  overhead_pct);
+    }
+    prefixfilter::json::Value m = prefixfilter::json::Value::MakeObject();
+    m.Set("scalar_query_mops", sharded_mqps);
+    m.Set("inner_scalar_query_mops", inner_mqps);
+    m.Set("scalar_overhead_pct", overhead_pct);
+    runner.Add("SHARD16[PF[TC]]", "mixed-50-50,scalar", std::move(m));
+  }
   if (!runner.WriteJsonIfRequested()) return 1;
   return 0;
 }

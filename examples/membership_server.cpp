@@ -1,58 +1,133 @@
-// Membership server: the sharded filter service end to end.
+// Membership server: the sharded filter service, served over TCP.
+//
+// Two modes:
 //
 //   build/example_membership_server
+//     Self-contained loopback demo: starts a MembershipServer on an
+//     ephemeral port, drives it with MembershipClient threads (register
+//     users, check memberships, STATS, snapshot/restore), verifies the
+//     restored service answers identically, and exits.
 //
-// Models the service deployment the ROADMAP targets: a shared FilterService
-// (16 prefix-filter shards, 4 worker threads) serving several client threads
-// that register users and check memberships in batches, then a
-// snapshot/restart cycle — the build-once/load-later lifecycle of §1, lifted
-// from a single filter to the whole sharded service.
+//   build/example_membership_server --serve [--port=P] [--filter=NAME]
+//       [--capacity=N] [--threads=T] [--front-cache=SLOTS] [--poll]
+//     Long-running server for external clients (bench_net_loadgen, the CI
+//     loopback smoke leg).  Prints "listening on 127.0.0.1:<port>" once
+//     ready and serves until SIGINT/SIGTERM.
+//
+// See README "Network service" for the wire protocol.
 #include <algorithm>
+#include <csignal>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/net/membership_client.h"
+#include "src/net/membership_server.h"
 #include "src/service/filter_service.h"
 #include "src/util/random.h"
 
-int main() {
-  using prefixfilter::FilterService;
-  using prefixfilter::FilterServiceOptions;
-  using prefixfilter::ShardedFilter;
-  using prefixfilter::ShardedFilterOptions;
+namespace {
 
-  // A service sized for 4M users, partitioned over 16 prefix-filter shards.
-  const uint64_t capacity = 4'000'000;
-  ShardedFilterOptions sharded_options;
-  sharded_options.num_shards = 16;
-  sharded_options.backend = "PF[TC]";
-  auto sharded = ShardedFilter::Make(capacity, sharded_options);
-  if (sharded == nullptr) {
-    std::fprintf(stderr, "failed to build the sharded filter\n");
+using prefixfilter::FilterService;
+using prefixfilter::FilterServiceOptions;
+using prefixfilter::ShardedFilter;
+using prefixfilter::ShardedFilterOptions;
+namespace net = prefixfilter::net;
+
+std::shared_ptr<FilterService> MakeService(const std::string& filter_name,
+                                           uint64_t capacity,
+                                           uint32_t service_threads,
+                                           size_t front_cache_slots) {
+  FilterServiceOptions options;
+  options.num_threads = service_threads;
+  options.front_cache_slots = front_cache_slots;
+  // Shared name-to-service bootstrap (src/service/filter_service.h).
+  return prefixfilter::MakeFilterService(filter_name, capacity, options);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
+          uint32_t service_threads, size_t front_cache_slots,
+          bool use_epoll) {
+  auto service =
+      MakeService(filter_name, capacity, service_threads, front_cache_slots);
+  if (service == nullptr) {
+    std::fprintf(stderr, "unknown filter: %s\n", filter_name.c_str());
+    return 2;
+  }
+  net::ServerOptions options;
+  options.port = port;
+  options.use_epoll = use_epoll;
+  net::MembershipServer server(service, options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "server start failed: %s\n", server.error().c_str());
     return 1;
   }
-  FilterServiceOptions service_options;
-  service_options.num_threads = 4;
-  FilterService service(std::shared_ptr<ShardedFilter>(sharded.release()),
-                        service_options);
+  std::printf("membership_server: %s (capacity %" PRIu64
+              ", %u shards, %s) listening on 127.0.0.1:%u\n",
+              filter_name.c_str(), capacity, service->filter().num_shards(),
+              server.poller_name(), server.port());
+  std::fflush(stdout);
 
-  // Four registration clients, each signing up 500k users in 8k batches.
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const net::ServerStats stats = server.stats();
+  server.Stop();
+  std::printf("membership_server: served %" PRIu64 " frames (%" PRIu64
+              " inserts, %" PRIu64 " queries, %" PRIu64
+              " merged) on %" PRIu64 " connections; %" PRIu64
+              " protocol errors, %" PRIu64 " drops\n",
+              stats.frames_received, stats.inserts_served,
+              stats.queries_served, stats.query_frames_merged,
+              stats.connections_accepted, stats.protocol_errors,
+              stats.connections_dropped);
+  return 0;
+}
+
+int Demo() {
+  // A service sized for 4M users, partitioned over 16 prefix-filter shards,
+  // fronted by a real TCP server on an ephemeral loopback port.
+  const uint64_t capacity = 4'000'000;
+  auto service = MakeService("SHARD16[PF[TC]]", capacity,
+                             /*service_threads=*/0, /*front_cache_slots=*/0);
+  net::MembershipServer server(service);
+  if (!server.Start()) {
+    std::fprintf(stderr, "server start failed: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::printf("server: %s on 127.0.0.1:%u\n", server.poller_name(),
+              server.port());
+
+  net::ClientOptions client_options;
+  client_options.port = server.port();
+
+  // Four registration clients, each signing up 500k users in 8k batches
+  // over its own connection.
   const auto users = prefixfilter::RandomKeys(2'000'000, /*seed=*/11);
   constexpr int kClients = 4;
   constexpr size_t kBatch = 8192;
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c]() {
+      net::MembershipClient client(client_options);
       const size_t begin = users.size() * c / kClients;
       const size_t end = users.size() * (c + 1) / kClients;
       for (size_t base = begin; base < end; base += kBatch) {
         const size_t count = std::min(kBatch, end - base);
-        auto failures = service.InsertBatch(std::vector<uint64_t>(
-            users.begin() + base, users.begin() + base + count));
-        if (failures.get() != 0) {
+        uint64_t failures = 0;
+        if (!client.InsertBatch(users.data() + base, count, &failures) ||
+            failures != 0) {
           std::fprintf(stderr, "client %d: insert failures\n", c);
         }
       }
@@ -60,39 +135,49 @@ int main() {
   }
   for (auto& t : clients) t.join();
 
-  // A membership check: half known users, half strangers.
+  // A membership check: half known users, half strangers, pipelined.
   std::vector<uint64_t> probe = prefixfilter::RandomKeys(100'000, 12);
-  for (size_t i = 0; i < probe.size(); i += 2) probe[i] = users[i * 17 % users.size()];
-  const auto answers = service.QueryBatch(probe).get();
+  for (size_t i = 0; i < probe.size(); i += 2) {
+    probe[i] = users[i * 17 % users.size()];
+  }
+  net::MembershipClient client(client_options);
+  std::vector<uint8_t> answers;
+  if (!client.QueryPipelined(probe.data(), probe.size(), &answers)) {
+    std::fprintf(stderr, "query failed: %s\n", client.error().c_str());
+    return 1;
+  }
   uint64_t members = 0;
   for (uint8_t a : answers) members += a;
   std::printf("membership check: %" PRIu64 " / %zu reported present "
               "(~half are registered users)\n",
               members, probe.size());
 
-  // Per-shard accounting: the hash partition keeps shards balanced.
-  const auto& filter = service.filter();
-  uint64_t min_load = ~uint64_t{0}, max_load = 0;
-  for (uint32_t s = 0; s < filter.num_shards(); ++s) {
-    const auto stats = filter.shard_stats(s);
-    min_load = std::min(min_load, stats.inserts);
-    max_load = std::max(max_load, stats.inserts);
+  // Per-shard accounting over the wire: the hash partition keeps shards
+  // balanced, and the shard counters prove the batches rode BatchRouter.
+  net::WireStats stats;
+  if (!client.Stats(&stats)) {
+    std::fprintf(stderr, "STATS failed: %s\n", client.error().c_str());
+    return 1;
   }
-  const auto service_stats = service.stats();
+  uint64_t min_load = ~uint64_t{0}, max_load = 0;
+  for (const auto& shard : stats.shards) {
+    min_load = std::min(min_load, shard.inserts);
+    max_load = std::max(max_load, shard.inserts);
+  }
   std::printf("service: %" PRIu64 " keys in %" PRIu64 " insert batches, "
-              "%" PRIu64 " queried; shard load %" PRIu64 "..%" PRIu64
-              " (%.1f%% spread), %.2f bits/key\n",
-              service_stats.keys_inserted, service_stats.insert_batches,
-              service_stats.keys_queried, min_load, max_load,
+              "%" PRIu64 " queried over %zu shards; shard load %" PRIu64
+              "..%" PRIu64 " (%.1f%% spread)\n",
+              stats.keys_inserted, stats.insert_batches, stats.keys_queried,
+              stats.shards.size(), min_load, max_load,
               100.0 * static_cast<double>(max_load - min_load) /
-                  static_cast<double>(max_load),
-              8.0 * static_cast<double>(filter.SpaceBytes()) /
-                  static_cast<double>(service_stats.keys_inserted));
+                  static_cast<double>(max_load));
 
-  // Snapshot, "restart", verify: the restored service answers identically.
+  // Snapshot over the wire, "restart", verify: the restored service answers
+  // identically — the build-once/load-later lifecycle of §1, lifted to the
+  // networked service.
   std::vector<uint8_t> snapshot;
-  if (!service.Snapshot(&snapshot)) {
-    std::fprintf(stderr, "snapshot failed\n");
+  if (!client.Snapshot(&snapshot)) {
+    std::fprintf(stderr, "snapshot failed: %s\n", client.error().c_str());
     return 1;
   }
   auto restored = FilterService::Restore(snapshot.data(), snapshot.size());
@@ -106,8 +191,53 @@ int main() {
   for (size_t i = 0; i < answers.size(); ++i) {
     disagreements += answers[i] != answers2[i];
   }
-  std::printf("snapshot: %zu bytes; restored service disagreements: %" PRIu64
-              " (must be 0)\n",
+  std::printf("snapshot: %zu bytes over the wire; restored service "
+              "disagreements: %" PRIu64 " (must be 0)\n",
               snapshot.size(), disagreements);
   return disagreements == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  bool use_epoll = true;
+  uint16_t port = 0;
+  std::string filter = "SHARD16[PF[TC]]";
+  uint64_t capacity = 4'000'000;
+  uint32_t service_threads = 0;
+  size_t front_cache = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(9);
+    } else if (arg.rfind("--capacity=", 0) == 0) {
+      capacity = std::strtoull(arg.c_str() + 11, nullptr, 0);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      service_threads = static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--front-cache=", 0) == 0) {
+      front_cache = static_cast<size_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg == "--poll") {
+      use_epoll = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: example_membership_server [--serve] [--port=P]\n"
+          "         [--filter=NAME] [--capacity=N] [--threads=T]\n"
+          "         [--front-cache=SLOTS] [--poll]\n"
+          "Without --serve, runs the self-contained loopback demo.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (serve) {
+    return Serve(filter, capacity, port, service_threads, front_cache,
+                 use_epoll);
+  }
+  return Demo();
 }

@@ -1,0 +1,430 @@
+#include "src/net/membership_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace prefixfilter::net {
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Nagle off: the server's responses are complete frames; delaying them only
+// adds latency to the pipelined request/response pattern the protocol wants.
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+WireStats CollectWireStats(const FilterService& service) {
+  WireStats wire;
+  const FilterServiceStats stats = service.stats();
+  wire.insert_batches = stats.insert_batches;
+  wire.query_batches = stats.query_batches;
+  wire.keys_inserted = stats.keys_inserted;
+  wire.keys_queried = stats.keys_queried;
+  wire.insert_failures = stats.insert_failures;
+  wire.front_cache_hits = stats.front_cache_hits;
+  const ShardedFilter& filter = service.filter();
+  wire.filter_name = filter.Name();
+  wire.capacity = filter.Capacity();
+  wire.shards.reserve(filter.num_shards());
+  for (uint32_t s = 0; s < filter.num_shards(); ++s) {
+    const ShardStats shard = filter.shard_stats(s);
+    WireShardStats w;
+    w.inserts = shard.inserts;
+    w.insert_failures = shard.insert_failures;
+    w.queries = shard.queries;
+    w.hits = shard.hits;
+    wire.shards.push_back(w);
+  }
+  return wire;
+}
+
+MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
+                                   ServerOptions options)
+    : service_(std::move(service)), options_(std::move(options)) {}
+
+MembershipServer::~MembershipServer() { Stop(); }
+
+bool MembershipServer::Start() {
+  if (started_) {
+    error_ = "Start() called twice";
+    return false;
+  }
+  started_ = true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind address: " + options_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  if (!SetNonBlocking(listen_fd_)) {
+    error_ = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+
+  int wake[2];
+  if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) {
+    error_ = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+
+  poller_ = Poller::Create(options_.use_epoll);
+  if (poller_ == nullptr || !poller_->Add(listen_fd_, false) ||
+      !poller_->Add(wake_read_fd_, false)) {
+    error_ = "poller setup failed";
+    return false;
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this]() { Loop(); });
+  return true;
+}
+
+void MembershipServer::Stop() {
+  if (!started_) return;
+  if (loop_thread_.joinable()) {
+    stop_requested_.store(true, std::memory_order_release);
+    const char byte = 1;
+    // The loop may have exited already; a failed wake write is fine.
+    (void)!::write(wake_write_fd_, &byte, 1);
+    loop_thread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  for (int* fd : {&listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+  poller_.reset();
+}
+
+const char* MembershipServer::poller_name() const {
+  return poller_ != nullptr ? poller_->name() : "none";
+}
+
+ServerStats MembershipServer::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_dropped = connections_dropped_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.inserts_served = inserts_served_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.query_frames_merged =
+      query_frames_merged_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MembershipServer::Loop() {
+  std::vector<PollEvent> events;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (!poller_->Wait(/*timeout_ms=*/500, &events)) break;
+    for (const PollEvent& event : events) {
+      if (event.fd == wake_read_fd_) {
+        char drain[64];
+        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      Connection& conn = it->second;
+      bool alive = !event.error;
+      if (alive && event.readable) alive = ServeConnection(conn);
+      if (alive && event.writable) alive = FlushOutbox(conn);
+      if (!alive) {
+        // A clean shutdown (EOF after everything was served) is not a drop.
+        CloseConnection(event.fd, /*dropped=*/event.error || conn.dropped);
+      }
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void MembershipServer::AcceptAll() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM): the pending
+        // connection stays in the backlog, so a level-triggered poller
+        // would re-report the listen fd instantly and spin the loop at
+        // 100% CPU.  A short nap turns that into a bounded retry until an
+        // fd frees up.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      return;  // wait for the next poller wakeup
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SetNoDelay(fd);
+    if (!poller_->Add(fd, false)) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool MembershipServer::ServeConnection(Connection& conn) {
+  // Drain the socket (level-triggered pollers re-arm if the 64 KiB scratch
+  // fills more than once per wakeup), but never buffer more undecoded input
+  // than max_read_buffer: a flooding client neither grows server memory
+  // without bound nor monopolizes the loop past one capped pass.
+  const size_t read_cap =
+      std::max<size_t>(options_.max_read_buffer,
+                       kMaxPayload + kFrameHeaderBytes);
+  uint8_t scratch[65536];
+  bool peer_closed = false;
+  while (conn.decoder.buffered() < read_cap) {
+    const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), 0);
+    if (n > 0) {
+      conn.decoder.Feed(scratch, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn.dropped = true;  // hard socket error
+    return false;
+  }
+
+  // Decode every complete frame buffered so far.  Runs of consecutive
+  // QUERY_BATCH frames accumulate into `pending` and execute as ONE merged
+  // batch, so a pipelining client's keys reach BatchRouter together and the
+  // counting-sort shard grouping spans the whole pipeline window.
+  std::vector<uint64_t> pending_keys;
+  std::vector<std::pair<uint64_t, uint32_t>> pending_queries;
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = conn.decoder.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status != DecodeStatus::kFrame) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.dropped = true;  // framing lost; the connection cannot be saved
+      return false;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(conn, frame, &pending_keys, &pending_queries);
+  }
+  FlushQueries(conn, &pending_keys, &pending_queries);
+  if (peer_closed) conn.peer_closed = true;
+  // FlushOutbox owns the whole close-on-EOF rule: it returns false once a
+  // half-closed connection's outbox drains, and until then parks it
+  // write-interest-only so the level-triggered EOF cannot spin the loop.
+  return FlushOutbox(conn);
+}
+
+void MembershipServer::HandleFrame(
+    Connection& conn, Frame& frame, std::vector<uint64_t>* pending_keys,
+    std::vector<std::pair<uint64_t, uint32_t>>* pending_queries) {
+  if (frame.is_response() || !IsKnownOpcode(frame.opcode)) {
+    FlushQueries(conn, pending_keys, pending_queries);
+    EncodeErrorResponse(static_cast<Opcode>(frame.opcode), frame.request_id,
+                        ErrorCode::kUnsupported,
+                        frame.is_response() ? "unexpected response flag"
+                                            : "unknown opcode",
+                        &conn.outbox);
+    return;
+  }
+  const Opcode opcode = static_cast<Opcode>(frame.opcode);
+
+  if (opcode == Opcode::kQueryBatch) {
+    // Appends straight onto the merged batch: no per-frame allocation on
+    // the hottest path.
+    const size_t before = pending_keys->size();
+    if (!AppendKeyBatchPayload(frame.payload.data(), frame.payload.size(),
+                               pending_keys)) {
+      FlushQueries(conn, pending_keys, pending_queries);
+      EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
+                          "malformed key batch", &conn.outbox);
+      return;
+    }
+    if (!pending_queries->empty()) {
+      query_frames_merged_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_queries->emplace_back(
+        frame.request_id, static_cast<uint32_t>(pending_keys->size() - before));
+    return;
+  }
+
+  // Every other opcode is a pipeline barrier: responses must come back in
+  // request order, so the accumulated queries execute first.
+  FlushQueries(conn, pending_keys, pending_queries);
+  switch (opcode) {
+    case Opcode::kInsertBatch: {
+      std::vector<uint64_t> keys;
+      if (!DecodeKeyBatchPayload(frame.payload.data(), frame.payload.size(),
+                                 &keys)) {
+        EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
+                            "malformed key batch", &conn.outbox);
+        return;
+      }
+      const uint64_t failures =
+          service_->InsertBatchSync(keys.data(), keys.size());
+      inserts_served_.fetch_add(keys.size(), std::memory_order_relaxed);
+      EncodeInsertResponse(frame.request_id, failures, &conn.outbox);
+      return;
+    }
+    case Opcode::kStats: {
+      EncodeStatsResponse(frame.request_id, CollectWireStats(*service_),
+                          &conn.outbox);
+      return;
+    }
+    case Opcode::kSnapshot: {
+      std::vector<uint8_t> snapshot;
+      if (!service_->Snapshot(&snapshot)) {
+        EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kInternal,
+                            "snapshot serialization failed", &conn.outbox);
+        return;
+      }
+      // An image beyond the frame cap cannot be framed (the u32 payload_len
+      // would lie); answer with a typed error instead of a frame the client
+      // must treat as fatal kBadLength.
+      if (snapshot.size() > kMaxPayload) {
+        EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kInternal,
+                            "snapshot exceeds the frame payload cap",
+                            &conn.outbox);
+        return;
+      }
+      EncodeSnapshotResponse(frame.request_id, snapshot, &conn.outbox);
+      return;
+    }
+    case Opcode::kQueryBatch:
+      break;  // handled above
+  }
+}
+
+void MembershipServer::FlushQueries(
+    Connection& conn, std::vector<uint64_t>* pending_keys,
+    std::vector<std::pair<uint64_t, uint32_t>>* pending) {
+  if (pending->empty()) return;
+  std::vector<uint8_t> results(pending_keys->size());
+  service_->QueryBatchSync(pending_keys->data(), pending_keys->size(),
+                           results.data());
+  queries_served_.fetch_add(pending_keys->size(), std::memory_order_relaxed);
+  size_t offset = 0;
+  for (const auto& [request_id, count] : *pending) {
+    EncodeQueryResponse(request_id, results.data() + offset, count,
+                        &conn.outbox);
+    offset += count;
+  }
+  pending_keys->clear();
+  pending->clear();
+}
+
+bool MembershipServer::FlushOutbox(Connection& conn) {
+  while (conn.outbox_sent < conn.outbox.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
+               conn.outbox.size() - conn.outbox_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbox_sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    conn.dropped = true;
+    return false;
+  }
+  if (conn.outbox_sent == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_sent = 0;
+  } else if (conn.outbox_sent > (1u << 20) &&
+             conn.outbox_sent * 2 > conn.outbox.size()) {
+    // Same lazy compaction the decoder uses: keep the unsent tail.
+    conn.outbox.erase(conn.outbox.begin(),
+                      conn.outbox.begin() +
+                          static_cast<ptrdiff_t>(conn.outbox_sent));
+    conn.outbox_sent = 0;
+  }
+  if (conn.outbox.size() - conn.outbox_sent > options_.max_write_buffer) {
+    conn.dropped = true;  // peer stopped reading; shed the connection
+    return false;
+  }
+  const bool want_write = conn.outbox_sent < conn.outbox.size();
+  // A half-closed peer has nothing more to say: once its outbox drains the
+  // connection is done, and until then only write readiness matters.
+  if (conn.peer_closed && !want_write) return false;
+  const bool want_read = !conn.peer_closed;
+  if (want_write != conn.want_write || conn.peer_closed) {
+    conn.want_write = want_write;
+    poller_->Update(conn.fd, want_read, want_write);
+  }
+  return true;
+}
+
+void MembershipServer::CloseConnection(int fd, bool dropped) {
+  poller_->Remove(fd);
+  ::close(fd);
+  connections_.erase(fd);
+  if (dropped) connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace prefixfilter::net

@@ -1,0 +1,156 @@
+// Networked membership service: a TCP front-end over FilterService.
+//
+// A single event-loop thread drives non-blocking sockets through a Poller
+// (epoll on Linux, poll(2) fallback), speaking the length-prefixed binary
+// protocol of src/net/protocol.h.  The loop is deliberately batch-first: all
+// complete frames buffered on a connection are decoded in one pass, and runs
+// of consecutive QUERY_BATCH frames are merged into ONE key batch handed to
+// FilterService::QueryBatchSync — so a pipelining client's traffic reaches
+// BatchRouter as large cross-shard batches and keeps the counting-sort
+// shard-grouping win (§7 batch orientation) intact across the network hop.
+// Responses are emitted per request frame, in request order, with each
+// frame's request_id echoed.
+//
+// Filter work executes on the event-loop thread via the service's sync entry
+// points; the FilterService worker pool (if any) keeps serving in-process
+// batch traffic concurrently — shard locks and the snapshot shared-lock
+// arbitrate.
+//
+// Lifecycle: Start() binds/listens (port 0 = kernel-assigned, see port()),
+// spawns the loop thread; Stop() wakes the loop through a self-pipe and
+// joins.  The destructor stops the server.
+#ifndef PREFIXFILTER_SRC_NET_MEMBERSHIP_SERVER_H_
+#define PREFIXFILTER_SRC_NET_MEMBERSHIP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/poller.h"
+#include "src/net/protocol.h"
+#include "src/service/filter_service.h"
+
+namespace prefixfilter::net {
+
+struct ServerOptions {
+  // IPv4 dotted-quad to bind; the loopback default matches the intended
+  // deployment behind a local proxy/sidecar (no auth on the wire protocol).
+  std::string bind_address = "127.0.0.1";
+  // 0 = kernel-assigned ephemeral port, reported by port().
+  uint16_t port = 0;
+  int backlog = 128;
+  // Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 1024;
+  // false forces the portable poll(2) event loop even where epoll exists.
+  bool use_epoll = true;
+  // A connection whose outbound buffer exceeds this is dropped (a client
+  // that stops reading must not grow server memory without bound).
+  size_t max_write_buffer = 256u << 20;
+  // Inbound counterpart: once a connection has this much undecoded input
+  // buffered, the event loop stops recv()ing from it for the rest of the
+  // wakeup (level-triggered pollers re-arm), bounding both per-connection
+  // memory and how long one flooding client can monopolize the loop.
+  // Clamped up to one max-size frame so a legal frame always fits.
+  size_t max_read_buffer = kMaxPayload + kFrameHeaderBytes;
+};
+
+// Event-loop counters, readable concurrently with the running server.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dropped = 0;  // protocol errors / overflow / rejects
+  uint64_t frames_received = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t inserts_served = 0;       // keys
+  uint64_t queries_served = 0;       // keys
+  uint64_t query_frames_merged = 0;  // extra frames coalesced into a batch
+};
+
+class MembershipServer {
+ public:
+  MembershipServer(std::shared_ptr<FilterService> service,
+                   ServerOptions options = {});
+  ~MembershipServer();
+
+  MembershipServer(const MembershipServer&) = delete;
+  MembershipServer& operator=(const MembershipServer&) = delete;
+
+  // Binds, listens, and spawns the event loop.  False on socket errors (see
+  // error()); calling Start() twice is an error.
+  bool Start();
+  // Idempotent; joins the loop thread and closes every connection.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolves port 0), valid after Start() succeeded.
+  uint16_t port() const { return port_; }
+  const std::string& error() const { return error_; }
+  // "epoll" or "poll", valid after Start().
+  const char* poller_name() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<uint8_t> outbox;  // encoded responses not yet written
+    size_t outbox_sent = 0;
+    bool want_write = false;
+    // Set when the connection dies for a reason the server holds against it
+    // (protocol error, socket error, write-buffer overflow) as opposed to a
+    // clean client shutdown; feeds connections_dropped.
+    bool dropped = false;
+    // Peer sent EOF; the connection only survives to drain its outbox
+    // (write-interest only — a level-triggered EOF must not spin the loop).
+    bool peer_closed = false;
+  };
+
+  void Loop();
+  void AcceptAll();
+  // Reads, decodes, and serves everything buffered on `conn`.  Returns false
+  // when the connection must be closed.
+  bool ServeConnection(Connection& conn);
+  void HandleFrame(Connection& conn, Frame& frame,
+                   std::vector<uint64_t>* pending_keys,
+                   std::vector<std::pair<uint64_t, uint32_t>>* pending_queries);
+  // Runs the accumulated pipelined query keys as one merged batch and emits
+  // one response frame per original request.
+  void FlushQueries(Connection& conn, std::vector<uint64_t>* pending_keys,
+                    std::vector<std::pair<uint64_t, uint32_t>>* pending);
+  // Attempts a non-blocking drain of conn.outbox; updates poller interest.
+  bool FlushOutbox(Connection& conn);
+  void CloseConnection(int fd, bool dropped);
+
+  std::shared_ptr<FilterService> service_;
+  ServerOptions options_;
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, Connection> connections_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string error_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_dropped_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> inserts_served_{0};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> query_frames_merged_{0};
+};
+
+// Fills a WireStats from a service (shared by the STATS handler and tests).
+WireStats CollectWireStats(const FilterService& service);
+
+}  // namespace prefixfilter::net
+
+#endif  // PREFIXFILTER_SRC_NET_MEMBERSHIP_SERVER_H_

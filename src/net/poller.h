@@ -1,0 +1,60 @@
+// Readiness-notification abstraction for the membership server's event loop.
+//
+// Two implementations behind one interface: a level-triggered epoll poller
+// (Linux, the production path — O(ready) wakeups independent of connection
+// count) and a portable poll(2) poller (any POSIX system, and a forcing
+// option so tests exercise the fallback on Linux too).  Level-triggered
+// semantics keep both implementations interchangeable: the event loop may
+// leave data unread and will be woken again.
+//
+// Pollers are single-threaded objects owned by the event loop; none of the
+// methods are thread-safe.
+#ifndef PREFIXFILTER_SRC_NET_POLLER_H_
+#define PREFIXFILTER_SRC_NET_POLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace prefixfilter::net {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  // Error/hangup on the fd; the owner should tear the connection down (a
+  // final read usually surfaces the errno).
+  bool error = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  // Registers `fd` for read readiness, plus write readiness when
+  // `want_write`.  A given fd is registered at most once.
+  virtual bool Add(int fd, bool want_write) = 0;
+  // Changes the interest set of an already-registered fd.  Dropping read
+  // interest lets the owner park a half-closed connection that only has
+  // output left to drain (a level-triggered EOF would otherwise wake the
+  // loop forever).
+  virtual bool Update(int fd, bool want_read, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+
+  // Blocks up to `timeout_ms` (-1 = indefinitely) and fills `events` with
+  // ready fds.  Returns false only on unrecoverable poller failure.
+  virtual bool Wait(int timeout_ms, std::vector<PollEvent>* events) = 0;
+
+  // Implementation name for logs/stats ("epoll" or "poll").
+  virtual const char* name() const = 0;
+
+  // Builds the best available poller: epoll on Linux unless `prefer_epoll`
+  // is false, poll(2) otherwise.  Returns nullptr only when the kernel
+  // refuses an epoll instance AND poll construction fails (never in
+  // practice).
+  static std::unique_ptr<Poller> Create(bool prefer_epoll);
+};
+
+}  // namespace prefixfilter::net
+
+#endif  // PREFIXFILTER_SRC_NET_POLLER_H_

@@ -1,0 +1,284 @@
+#include "src/net/protocol.h"
+
+#include <cstring>
+
+#include "src/util/serialize.h"
+
+namespace prefixfilter::net {
+namespace {
+
+// Reflected CRC-32 table, built once (thread-safe since C++11 magic statics).
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+bool IsKnownOpcode(uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kInsertBatch:
+    case Opcode::kQueryBatch:
+    case Opcode::kStats:
+    case Opcode::kSnapshot:
+      return true;
+  }
+  return false;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(Opcode opcode, uint16_t flags, uint64_t request_id,
+                 const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  out->resize(base + kFrameHeaderBytes + payload_len);
+  uint8_t* h = out->data() + base;
+  PutU32(h + 0, kFrameMagic);
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<uint8_t>(opcode);
+  PutU16(h + 6, flags);
+  PutU64(h + 8, request_id);
+  PutU32(h + 16, static_cast<uint32_t>(payload_len));
+  PutU32(h + 20, Crc32(payload, payload_len));
+  if (payload_len != 0) {
+    std::memcpy(h + kFrameHeaderBytes, payload, payload_len);
+  }
+}
+
+void EncodeKeyBatchRequest(Opcode opcode, uint64_t request_id,
+                           const uint64_t* keys, size_t count,
+                           std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload(4 + 8 * count);
+  PutU32(payload.data(), static_cast<uint32_t>(count));
+  if (count != 0) std::memcpy(payload.data() + 4, keys, 8 * count);
+  AppendFrame(opcode, 0, request_id, payload.data(), payload.size(), out);
+}
+
+void EncodeEmptyRequest(Opcode opcode, uint64_t request_id,
+                        std::vector<uint8_t>* out) {
+  AppendFrame(opcode, 0, request_id, nullptr, 0, out);
+}
+
+void EncodeInsertResponse(uint64_t request_id, uint64_t failures,
+                          std::vector<uint8_t>* out) {
+  uint8_t payload[8];
+  PutU64(payload, failures);
+  AppendFrame(Opcode::kInsertBatch, kFlagResponse, request_id, payload,
+              sizeof(payload), out);
+}
+
+void EncodeQueryResponse(uint64_t request_id, const uint8_t* results,
+                         size_t count, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload(4 + count);
+  PutU32(payload.data(), static_cast<uint32_t>(count));
+  if (count != 0) std::memcpy(payload.data() + 4, results, count);
+  AppendFrame(Opcode::kQueryBatch, kFlagResponse, request_id, payload.data(),
+              payload.size(), out);
+}
+
+void EncodeSnapshotResponse(uint64_t request_id,
+                            const std::vector<uint8_t>& snapshot,
+                            std::vector<uint8_t>* out) {
+  AppendFrame(Opcode::kSnapshot, kFlagResponse, request_id, snapshot.data(),
+              snapshot.size(), out);
+}
+
+void EncodeErrorResponse(Opcode opcode, uint64_t request_id, ErrorCode code,
+                         const std::string& message,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<uint32_t>(code));
+  w.Str(message);
+  AppendFrame(opcode, kFlagResponse | kFlagError, request_id, payload.data(),
+              payload.size(), out);
+}
+
+bool AppendKeyBatchPayload(const uint8_t* payload, size_t len,
+                           std::vector<uint64_t>* keys) {
+  if (len < 4) return false;
+  const uint32_t count = GetU32(payload);
+  if (count > kMaxKeysPerFrame || len != 4 + 8 * static_cast<size_t>(count)) {
+    return false;
+  }
+  const size_t base = keys->size();
+  keys->resize(base + count);
+  if (count != 0) std::memcpy(keys->data() + base, payload + 4, 8 * count);
+  return true;
+}
+
+bool DecodeKeyBatchPayload(const uint8_t* payload, size_t len,
+                           std::vector<uint64_t>* keys) {
+  keys->clear();
+  return AppendKeyBatchPayload(payload, len, keys);
+}
+
+bool DecodeInsertResponsePayload(const uint8_t* payload, size_t len,
+                                 uint64_t* failures) {
+  if (len != 8) return false;
+  *failures = GetU64(payload);
+  return true;
+}
+
+bool DecodeQueryResponsePayload(const uint8_t* payload, size_t len,
+                                std::vector<uint8_t>* results) {
+  if (len < 4) return false;
+  const uint32_t count = GetU32(payload);
+  if (count > kMaxKeysPerFrame || len != 4 + static_cast<size_t>(count)) {
+    return false;
+  }
+  results->assign(payload + 4, payload + 4 + count);
+  return true;
+}
+
+bool DecodeErrorPayload(const uint8_t* payload, size_t len, ErrorCode* code,
+                        std::string* message) {
+  ByteReader r(payload, len);
+  const uint32_t raw = r.U32();
+  std::string text = r.Str();
+  if (!r.ok() || r.remaining() != 0) return false;
+  *code = static_cast<ErrorCode>(raw);
+  *message = std::move(text);
+  return true;
+}
+
+void EncodeStatsResponse(uint64_t request_id, const WireStats& stats,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U8(1);  // stats payload version
+  w.Str(stats.filter_name);
+  w.U64(stats.capacity);
+  w.U64(stats.insert_batches);
+  w.U64(stats.query_batches);
+  w.U64(stats.keys_inserted);
+  w.U64(stats.keys_queried);
+  w.U64(stats.insert_failures);
+  w.U64(stats.front_cache_hits);
+  w.U32(static_cast<uint32_t>(stats.shards.size()));
+  for (const WireShardStats& s : stats.shards) {
+    w.U64(s.inserts);
+    w.U64(s.insert_failures);
+    w.U64(s.queries);
+    w.U64(s.hits);
+  }
+  AppendFrame(Opcode::kStats, kFlagResponse, request_id, payload.data(),
+              payload.size(), out);
+}
+
+bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats) {
+  ByteReader r(payload, len);
+  if (r.U8() != 1) return false;
+  WireStats out;
+  out.filter_name = r.Str();
+  out.capacity = r.U64();
+  out.insert_batches = r.U64();
+  out.query_batches = r.U64();
+  out.keys_inserted = r.U64();
+  out.keys_queried = r.U64();
+  out.insert_failures = r.U64();
+  out.front_cache_hits = r.U64();
+  const uint32_t num_shards = r.U32();
+  // 32 bytes per shard must fit in what remains; bounds the allocation.
+  if (!r.ok() || static_cast<size_t>(num_shards) * 32 > r.remaining()) {
+    return false;
+  }
+  out.shards.resize(num_shards);
+  for (WireShardStats& s : out.shards) {
+    s.inserts = r.U64();
+    s.insert_failures = r.U64();
+    s.queries = r.U64();
+    s.hits = r.U64();
+  }
+  if (!r.ok() || r.remaining() != 0) return false;
+  *stats = std::move(out);
+  return true;
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so a long-lived pipelined connection doesn't grow the buffer forever yet
+  // steady-state appends stay O(len).
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+DecodeStatus FrameDecoder::Next(Frame* frame) {
+  if (error_ != DecodeStatus::kNeedMore) return error_;
+  const uint8_t* p = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  if (GetU32(p) != kFrameMagic) return error_ = DecodeStatus::kBadMagic;
+  if (p[4] != kProtocolVersion) return error_ = DecodeStatus::kBadVersion;
+  const uint32_t payload_len = GetU32(p + 16);
+  if (payload_len > kMaxPayload) return error_ = DecodeStatus::kBadLength;
+  if (available < kFrameHeaderBytes + payload_len) {
+    return DecodeStatus::kNeedMore;
+  }
+  const uint8_t* payload = p + kFrameHeaderBytes;
+  if (Crc32(payload, payload_len) != GetU32(p + 20)) {
+    return error_ = DecodeStatus::kBadChecksum;
+  }
+  frame->opcode = p[5];
+  frame->flags = GetU16(p + 6);
+  frame->request_id = GetU64(p + 8);
+  frame->payload.assign(payload, payload + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace prefixfilter::net

@@ -9,7 +9,10 @@ FilterService::FilterService(std::shared_ptr<ShardedFilter> filter,
                              FilterServiceOptions options)
     : filter_(std::move(filter)),
       num_threads_(options.num_threads),
-      max_pending_(std::max<size_t>(1, options.max_pending)) {
+      max_pending_(std::max<size_t>(1, options.max_pending)),
+      front_cache_(options.front_cache_slots > 0
+                       ? std::make_unique<FrontCache>(options.front_cache_slots)
+                       : nullptr) {
   workers_.reserve(num_threads_);
   for (uint32_t t = 0; t < num_threads_; ++t) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -66,22 +69,100 @@ void FilterService::Enqueue(Request request) {
 }
 
 void FilterService::Execute(Request& request) {
-  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
   if (request.is_insert) {
-    const uint64_t failures =
-        filter_->InsertBatch(request.keys.data(), request.keys.size());
-    insert_batches_.fetch_add(1, std::memory_order_relaxed);
-    keys_inserted_.fetch_add(request.keys.size(), std::memory_order_relaxed);
-    insert_failures_.fetch_add(failures, std::memory_order_relaxed);
-    request.insert_result.set_value(failures);
+    request.insert_result.set_value(
+        InsertBatchSync(request.keys.data(), request.keys.size()));
   } else {
     std::vector<uint8_t> out(request.keys.size());
-    filter_->ContainsBatch(request.keys.data(), request.keys.size(),
-                           out.data());
-    query_batches_.fetch_add(1, std::memory_order_relaxed);
-    keys_queried_.fetch_add(request.keys.size(), std::memory_order_relaxed);
+    QueryBatchSync(request.keys.data(), request.keys.size(), out.data());
     request.query_result.set_value(std::move(out));
   }
+}
+
+uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
+  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  const uint64_t failures = filter_->InsertBatch(keys, count);
+  insert_batches_.fetch_add(1, std::memory_order_relaxed);
+  keys_inserted_.fetch_add(count, std::memory_order_relaxed);
+  insert_failures_.fetch_add(failures, std::memory_order_relaxed);
+  return failures;
+}
+
+void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
+                                   uint8_t* out) {
+  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  QueryLocked(keys, count, out);
+  query_batches_.fetch_add(1, std::memory_order_relaxed);
+  keys_queried_.fetch_add(count, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Per-thread scratch for the cached query path (same pattern as
+// ShardedFilter::ThreadLocalRouter): the batch path stays allocation-free
+// after warm-up even with the front cache enabled.
+struct QueryScratch {
+  std::vector<uint64_t> miss_keys;
+  std::vector<size_t> miss_pos;
+  std::vector<uint8_t> miss_out;
+};
+
+QueryScratch& ThreadLocalQueryScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void FilterService::QueryLocked(const uint64_t* keys, size_t count,
+                                uint8_t* out) {
+  if (front_cache_ == nullptr) {
+    filter_->ContainsBatch(keys, count, out);
+    return;
+  }
+  // Split the batch at the cache: hits are answered immediately (these are
+  // answers the filter itself gave earlier, so observable results are
+  // unchanged), only misses pay the router/shard path.
+  QueryScratch& scratch = ThreadLocalQueryScratch();
+  scratch.miss_keys.clear();
+  scratch.miss_pos.clear();
+  scratch.miss_keys.reserve(count);
+  scratch.miss_pos.reserve(count);
+  uint64_t cache_hits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (front_cache_->Lookup(keys[i])) {
+      out[i] = 1;
+      ++cache_hits;
+    } else {
+      scratch.miss_keys.push_back(keys[i]);
+      scratch.miss_pos.push_back(i);
+    }
+  }
+  if (!scratch.miss_keys.empty()) {
+    scratch.miss_out.resize(scratch.miss_keys.size());
+    filter_->ContainsBatch(scratch.miss_keys.data(), scratch.miss_keys.size(),
+                           scratch.miss_out.data());
+    for (size_t m = 0; m < scratch.miss_keys.size(); ++m) {
+      out[scratch.miss_pos[m]] = scratch.miss_out[m];
+      if (scratch.miss_out[m]) front_cache_->Store(scratch.miss_keys[m]);
+    }
+  }
+  if (cache_hits != 0) {
+    front_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+  }
+}
+
+bool FilterService::Contains(uint64_t key) const {
+  if (front_cache_ != nullptr) {
+    if (front_cache_->Lookup(key)) {
+      front_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    const bool hit = filter_->Contains(key);
+    if (hit) front_cache_->Store(key);
+    return hit;
+  }
+  return filter_->Contains(key);
 }
 
 void FilterService::WorkerLoop() {
@@ -141,6 +222,7 @@ FilterServiceStats FilterService::stats() const {
   s.keys_inserted = keys_inserted_.load(std::memory_order_relaxed);
   s.keys_queried = keys_queried_.load(std::memory_order_relaxed);
   s.insert_failures = insert_failures_.load(std::memory_order_relaxed);
+  s.front_cache_hits = front_cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -159,6 +241,21 @@ void FilterService::Stop() {
   workers_.clear();
   // Workers exit only once the queue is empty, so every accepted batch has
   // completed by the time Stop() returns.
+}
+
+std::shared_ptr<FilterService> MakeFilterService(
+    const std::string& filter_name, uint64_t capacity,
+    FilterServiceOptions options, uint64_t seed) {
+  ShardedFilterOptions sharded;
+  if (!ShardedFilter::ParseName(filter_name, &sharded)) {
+    sharded.num_shards = 1;
+    sharded.backend = filter_name;
+  }
+  sharded.seed = seed;
+  auto filter = ShardedFilter::Make(capacity, sharded);
+  if (filter == nullptr) return nullptr;
+  return std::make_shared<FilterService>(
+      std::shared_ptr<ShardedFilter>(filter.release()), options);
 }
 
 }  // namespace prefixfilter

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/service/front_cache.h"
 #include "src/service/sharded_filter.h"
 
 namespace prefixfilter {
@@ -41,6 +42,11 @@ struct FilterServiceOptions {
   uint32_t num_threads = 4;
   // Bound on queued (not yet executing) requests; submitters block past it.
   size_t max_pending = 4096;
+  // > 0 enables a direct-mapped front cache of recent positive answers with
+  // this many slots (rounded up to a power of two) — see
+  // src/service/front_cache.h.  Absorbs duplicate-heavy traffic without
+  // changing any observable answer.  0 (the default) disables it.
+  size_t front_cache_slots = 0;
 };
 
 // Service-level counters (per-shard counters live in ShardedFilter).
@@ -50,6 +56,8 @@ struct FilterServiceStats {
   uint64_t keys_inserted = 0;
   uint64_t keys_queried = 0;
   uint64_t insert_failures = 0;
+  // Queries answered by the front cache without touching the filter.
+  uint64_t front_cache_hits = 0;
 };
 
 class FilterService {
@@ -69,9 +77,18 @@ class FilterService {
   // order submitted.
   std::future<std::vector<uint8_t>> QueryBatch(std::vector<uint64_t> keys);
 
+  // Synchronous batch entry points for callers that already own a thread
+  // (the network event loop hands decoded frames straight here): they bypass
+  // the request queue but take the same snapshot shared-lock, update the
+  // same stats, and ride the same BatchRouter/front-cache path as queued
+  // batches.  Safe concurrently with queued traffic.
+  uint64_t InsertBatchSync(const uint64_t* keys, size_t count);
+  void QueryBatchSync(const uint64_t* keys, size_t count, uint8_t* out);
+
   // Synchronous single-key fast path (bypasses the queue; safe concurrently
-  // with batch traffic — shard locks serialize).
-  bool Contains(uint64_t key) const { return filter_->Contains(key); }
+  // with batch traffic — shard locks serialize).  Served from the front
+  // cache when enabled.
+  bool Contains(uint64_t key) const;
 
   // Blocks until every previously submitted batch has completed.
   void Drain();
@@ -90,6 +107,7 @@ class FilterService {
 
   const ShardedFilter& filter() const { return *filter_; }
   uint32_t num_threads() const { return num_threads_; }
+  bool front_cache_enabled() const { return front_cache_ != nullptr; }
   FilterServiceStats stats() const;
 
   // Completes queued work and joins the workers.  Idempotent; batches
@@ -107,10 +125,15 @@ class FilterService {
   void Enqueue(Request request);
   void Execute(Request& request);
   void WorkerLoop();
+  // Query path shared by Execute and QueryBatchSync: front-cache lookup,
+  // batch the misses through the filter, populate the cache with fresh
+  // positives.  Caller holds the snapshot shared lock.
+  void QueryLocked(const uint64_t* keys, size_t count, uint8_t* out);
 
   std::shared_ptr<ShardedFilter> filter_;
   uint32_t num_threads_;
   size_t max_pending_;
+  std::unique_ptr<FrontCache> front_cache_;
 
   // Batch execution takes this shared; Snapshot takes it exclusive while
   // serializing.  Direct filter() access bypasses it by design (shard locks
@@ -131,7 +154,19 @@ class FilterService {
   std::atomic<uint64_t> keys_inserted_{0};
   std::atomic<uint64_t> keys_queried_{0};
   std::atomic<uint64_t> insert_failures_{0};
+  // mutable: bumped from the const Contains() fast path.
+  mutable std::atomic<uint64_t> front_cache_hits_{0};
 };
+
+// Builds a FilterService for any factory filter name: "SHARD<n>[<inner>]"
+// configures the sharding, every other accepted name runs as a single-shard
+// service.  The shared bootstrap of the membership-server example and the
+// network load generator — one spelling of the name-to-service rule.
+// Returns nullptr for unknown names.
+std::shared_ptr<FilterService> MakeFilterService(
+    const std::string& filter_name, uint64_t capacity,
+    FilterServiceOptions options = {},
+    uint64_t seed = ShardedFilterOptions{}.seed);
 
 }  // namespace prefixfilter
 

@@ -140,6 +140,20 @@ bool ShardedFilter::Contains(uint64_t key) const {
 
 void ShardedFilter::ContainsBatch(const uint64_t* keys, size_t count,
                                   uint8_t* out) const {
+  // Scalar fast path: a 1-key "batch" routes inline — counting-sorting a
+  // single key would pay the router's full per-batch setup (the ~35-40%
+  // single-thread overhead the PR-2 sweep flagged).
+  if (count == 1) {
+    out[0] = Contains(keys[0]) ? 1 : 0;
+    return;
+  }
+  // Single-shard fast path: every key lands in shard 0, so the grouping
+  // passes are pure overhead — drain the batch straight through the shard's
+  // prefetching ContainsBatch under one lock.
+  if (shard_bits_ == 0) {
+    QueryShard(0, keys, count, out);
+    return;
+  }
   // Reusable per-thread scratch: callers hammering the batch path (service
   // workers, benches) pay no per-call allocations after warm-up.
   ThreadLocalRouter().Route(*this, keys, count, out);
@@ -170,6 +184,10 @@ uint64_t ShardedFilter::InsertShard(uint32_t shard_index,
 }
 
 uint64_t ShardedFilter::InsertBatch(const uint64_t* keys, size_t count) {
+  // Mirrors the ContainsBatch fast paths: no grouping work when there is
+  // nothing to group.
+  if (count == 1) return Insert(keys[0]) ? 0 : 1;
+  if (shard_bits_ == 0) return InsertShard(0, keys, count);
   uint64_t failures = 0;
   ThreadLocalRouter().GroupByShard(
       *this, keys, count, [&](uint32_t shard, const uint64_t* group, size_t n) {

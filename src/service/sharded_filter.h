@@ -79,7 +79,9 @@ class ShardedFilter final : public AnyFilter {
   bool Contains(uint64_t key) const override;
   // Cross-shard batches route through BatchRouter so each shard group drains
   // through the backend's prefetching batch path (one lock + one pass per
-  // shard instead of one lock per key).
+  // shard instead of one lock per key).  Fast paths skip the grouping
+  // machinery entirely for 1-key batches (inline route-on-query) and for
+  // single-shard filters (everything is one group by construction).
   void ContainsBatch(const uint64_t* keys, size_t count,
                      uint8_t* out) const override;
   bool SerializeTo(std::vector<uint8_t>* out) const override;

@@ -199,5 +199,56 @@ TEST(ShardedFilter, SnapshotRoundTripsThroughTypeErasedLayer) {
   EXPECT_EQ(DeserializeFilter(bytes.data(), bytes.size() / 2), nullptr);
 }
 
+// The scalar and single-shard fast paths (ROADMAP: close the ~35-40%
+// single-thread batch overhead) must stay observably identical to the
+// routed path: same answers, same per-shard stats accounting.
+TEST(ShardedFilter, FastPathsAgreeWithRoutedPathAndKeepStats) {
+  const uint64_t n = 50000;
+
+  // 1-key batches hit the inline route-on-query path.
+  auto sharded = MakeFilter("SHARD16[PF[TC]]", n, 331);
+  ASSERT_NE(sharded, nullptr);
+  const auto keys = RandomKeys(n, 332);
+  for (uint64_t k : keys) ASSERT_TRUE(sharded->Insert(k));
+  auto* impl = static_cast<ShardedFilter*>(sharded.get());
+  const uint64_t queries_before = impl->TotalStats().queries;
+  const auto probes = RandomKeys(5000, 333);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const uint64_t key = i % 2 == 0 ? keys[i % n] : probes[i];
+    uint8_t batch_answer = 0xcc;
+    impl->ContainsBatch(&key, 1, &batch_answer);
+    ASSERT_EQ(batch_answer != 0, impl->Contains(key)) << i;
+    ASSERT_NE(batch_answer, 0xcc);
+  }
+  // Both the fast-path batch and the scalar double-check counted.
+  EXPECT_EQ(impl->TotalStats().queries - queries_before, 2 * probes.size());
+
+  // Single-shard filters drain batches straight through shard 0.
+  auto single = ShardedFilter::Make(
+      n, ShardedFilterOptions{/*num_shards=*/1, "PF[TC]", 334});
+  ASSERT_NE(single, nullptr);
+  EXPECT_EQ(single->num_shards(), 1u);
+  EXPECT_EQ(single->InsertBatch(keys.data(), keys.size()), 0u);
+  std::vector<uint64_t> stream = RandomKeys(20000, 335);
+  for (size_t i = 0; i < stream.size(); i += 2) stream[i] = keys[i % n];
+  std::vector<uint8_t> batch(stream.size());
+  single->ContainsBatch(stream.data(), stream.size(), batch.data());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(batch[i] != 0, single->Contains(stream[i])) << i;
+  }
+  const ShardStats stats = single->shard_stats(0);
+  EXPECT_EQ(stats.inserts, n);
+  // The full batch plus the per-key scalar verification above.
+  EXPECT_EQ(stats.queries, 2 * stream.size());
+
+  // 1-key inserts ride the scalar insert path with identical accounting.
+  auto sharded2 = ShardedFilter::Make(
+      1000, ShardedFilterOptions{/*num_shards=*/8, "PF[TC]", 336});
+  const uint64_t one = 12345;
+  EXPECT_EQ(sharded2->InsertBatch(&one, 1), 0u);
+  EXPECT_TRUE(sharded2->Contains(one));
+  EXPECT_EQ(sharded2->TotalStats().inserts, 1u);
+}
+
 }  // namespace
 }  // namespace prefixfilter
