@@ -40,6 +40,7 @@
 #include "bench/harness.h"
 #include "src/net/membership_client.h"
 #include "src/net/membership_server.h"
+#include "src/obs/metrics.h"
 #include "src/service/filter_service.h"
 #include "src/service/sharded_filter.h"
 #include "src/workload/workload.h"
@@ -368,6 +369,62 @@ int main(int argc, char** argv) {
               "%" PRIu64 " query batches served)\n",
               total_queried, after.shards.size(), shard_delta, cache_delta,
               after.query_batches - before.query_batches);
+
+  // --- server-side telemetry (STATS v2 scrape) ------------------------------
+  // One extra scrape pulls the server's whole metrics registry over the wire:
+  // the per-opcode latency histograms and queue-wait percentiles measured ON
+  // the server, the other side of the client-observed ns/op above.  Emitted
+  // as an extra prefixfilter-bench-v1 row so perf history tracks server-side
+  // latency too.  Skipped silently against pre-v2 or PF_OBS=OFF servers.
+  net::WireStats scrape;
+  if (control.StatsV2(&scrape) && !scrape.metrics.empty()) {
+    prefixfilter::json::Value metrics = prefixfilter::json::Value::MakeObject();
+    const auto hist_row = [&metrics, &scrape](const char* metric_name,
+                                              const char* label_key,
+                                              const char* label_value,
+                                              const char* out_prefix) {
+      const prefixfilter::obs::MetricSample* s = prefixfilter::obs::FindSample(
+          scrape.metrics, metric_name, label_key, label_value);
+      if (s == nullptr || s->hist.count == 0) return;
+      const std::string p(out_prefix);
+      metrics.Set(p + "_count", s->hist.count);
+      metrics.Set(p + "_mean_ns", s->hist.Mean());
+      metrics.Set(p + "_ns_p50", s->hist.Percentile(0.50));
+      metrics.Set(p + "_ns_p90", s->hist.Percentile(0.90));
+      metrics.Set(p + "_ns_p99", s->hist.Percentile(0.99));
+    };
+    hist_row("net.server.request.ns", "op", "query", "server_query");
+    hist_row("net.server.request.ns", "op", "insert", "server_insert");
+    hist_row("service.queue.wait.ns", "", "", "server_queue_wait");
+    hist_row("net.server.merge.frames", "", "", "server_merge_frames");
+    const uint64_t cache_looks =
+        scrape.front_cache_hits + scrape.front_cache_misses;
+    if (cache_looks != 0) {
+      metrics.Set("front_cache_hit_rate",
+                  static_cast<double>(scrape.front_cache_hits) /
+                      static_cast<double>(cache_looks));
+    }
+    const prefixfilter::obs::MetricSample* bytes_in = prefixfilter::obs::
+        FindSample(scrape.metrics, "net.server.bytes.in");
+    const prefixfilter::obs::MetricSample* bytes_out = prefixfilter::obs::
+        FindSample(scrape.metrics, "net.server.bytes.out");
+    if (bytes_in != nullptr) metrics.Set("server_bytes_in", bytes_in->value);
+    if (bytes_out != nullptr) {
+      metrics.Set("server_bytes_out", bytes_out->value);
+    }
+    const prefixfilter::obs::MetricSample* query_hist =
+        prefixfilter::obs::FindSample(scrape.metrics, "net.server.request.ns",
+                                      "op", "query");
+    if (query_hist != nullptr && query_hist->hist.count != 0) {
+      std::printf("net_loadgen: server-side query batches: p50 %.0f ns  "
+                  "p99 %.0f ns  (%" PRIu64 " merged batches, %zu series "
+                  "scraped)\n",
+                  query_hist->hist.Percentile(0.50),
+                  query_hist->hist.Percentile(0.99), query_hist->hist.count,
+                  scrape.metrics.size());
+    }
+    runner.Add(before.filter_name, "server-metrics", std::move(metrics));
+  }
 
   if (server != nullptr) {
     const net::ServerStats stats = server->stats();

@@ -10,9 +10,12 @@
 //
 //   build/example_membership_server --serve [--port=P] [--filter=NAME]
 //       [--capacity=N] [--threads=T] [--front-cache=SLOTS] [--poll]
+//       [--http-port=P]
 //     Long-running server for external clients (bench_net_loadgen, the CI
 //     loopback smoke leg).  Prints "listening on 127.0.0.1:<port>" once
-//     ready and serves until SIGINT/SIGTERM.
+//     ready and serves until SIGINT/SIGTERM.  --http-port additionally
+//     serves GET /metrics (Prometheus text format) on that port (0 =
+//     kernel-assigned; the chosen port is printed).
 //
 // See README "Network service" for the wire protocol.
 #include <algorithm>
@@ -54,8 +57,8 @@ volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
 int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
-          uint32_t service_threads, size_t front_cache_slots,
-          bool use_epoll) {
+          uint32_t service_threads, size_t front_cache_slots, bool use_epoll,
+          bool enable_http, uint16_t http_port) {
   auto service =
       MakeService(filter_name, capacity, service_threads, front_cache_slots);
   if (service == nullptr) {
@@ -65,6 +68,8 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
   net::ServerOptions options;
   options.port = port;
   options.use_epoll = use_epoll;
+  options.enable_http = enable_http;
+  options.http_port = http_port;
   net::MembershipServer server(service, options);
   if (!server.Start()) {
     std::fprintf(stderr, "server start failed: %s\n", server.error().c_str());
@@ -74,6 +79,11 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
               ", %u shards, %s) listening on 127.0.0.1:%u\n",
               filter_name.c_str(), capacity, service->filter().num_shards(),
               server.poller_name(), server.port());
+  if (enable_http) {
+    std::printf("membership_server: metrics on "
+                "http://127.0.0.1:%u/metrics\n",
+                server.http_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -207,6 +217,8 @@ int main(int argc, char** argv) {
   uint64_t capacity = 4'000'000;
   uint32_t service_threads = 0;
   size_t front_cache = 0;
+  bool enable_http = false;
+  uint16_t http_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") {
@@ -221,13 +233,16 @@ int main(int argc, char** argv) {
       service_threads = static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
     } else if (arg.rfind("--front-cache=", 0) == 0) {
       front_cache = static_cast<size_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      enable_http = true;
+      http_port = static_cast<uint16_t>(std::atoi(arg.c_str() + 12));
     } else if (arg == "--poll") {
       use_epoll = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: example_membership_server [--serve] [--port=P]\n"
           "         [--filter=NAME] [--capacity=N] [--threads=T]\n"
-          "         [--front-cache=SLOTS] [--poll]\n"
+          "         [--front-cache=SLOTS] [--poll] [--http-port=P]\n"
           "Without --serve, runs the self-contained loopback demo.\n");
       return 0;
     } else {
@@ -237,7 +252,7 @@ int main(int argc, char** argv) {
   }
   if (serve) {
     return Serve(filter, capacity, port, service_threads, front_cache,
-                 use_epoll);
+                 use_epoll, enable_http, http_port);
   }
   return Demo();
 }

@@ -1,0 +1,223 @@
+// pf_stat: scrape and pretty-print a membership server's telemetry.
+//
+//   build/example_pf_stat --connect=HOST:PORT          one snapshot
+//   build/example_pf_stat --connect=HOST:PORT --diff   two scrapes one
+//       --interval apart, printed as interval rates/percentiles
+//   build/example_pf_stat --connect=HOST:PORT --watch  scrape every
+//       --interval seconds until interrupted, printing interval diffs
+//
+// Speaks the STATS v2 wire request (src/net/protocol.h): one round trip
+// returns the service counters plus the server's whole metrics-registry
+// snapshot.  Against a pre-v2 server the same request degrades to the v1
+// payload and pf_stat prints the service counters alone.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/membership_client.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+namespace net = prefixfilter::net;
+namespace obs = prefixfilter::obs;
+
+std::string LabelSuffix(const obs::MetricSample& s) {
+  if (s.labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < s.labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += s.labels[i].first + "=" + s.labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+// cur - prev for cumulative histogram snapshots: interval percentiles come
+// from the bucket-wise difference (both operands are monotone in time, so
+// the difference is a valid histogram of the interval's samples).
+obs::HistogramSnapshot DiffHist(const obs::HistogramSnapshot& cur,
+                                const obs::HistogramSnapshot& prev) {
+  obs::HistogramSnapshot d;
+  size_t pi = 0;
+  for (const auto& [index, count] : cur.buckets) {
+    uint64_t base = 0;
+    while (pi < prev.buckets.size() && prev.buckets[pi].first < index) ++pi;
+    if (pi < prev.buckets.size() && prev.buckets[pi].first == index) {
+      base = prev.buckets[pi].second;
+    }
+    if (count > base) d.buckets.emplace_back(index, count - base);
+  }
+  for (const auto& [index, count] : d.buckets) {
+    d.count += count;
+    (void)index;
+  }
+  d.sum = cur.sum >= prev.sum ? cur.sum - prev.sum : 0;
+  if (!d.buckets.empty()) {
+    d.min = obs::LatencyHistogram::BucketLowerBound(d.buckets.front().first);
+    const uint32_t last = d.buckets.back().first;
+    d.max = obs::LatencyHistogram::BucketLowerBound(last) +
+            obs::LatencyHistogram::BucketWidth(last) - 1;
+  }
+  return d;
+}
+
+void PrintHistRow(const std::string& name, const obs::HistogramSnapshot& h) {
+  if (h.count == 0) {
+    std::printf("  %-44s (no samples)\n", name.c_str());
+    return;
+  }
+  std::printf("  %-44s n=%-10" PRIu64
+              " mean=%-10.0f p50=%-10.0f p90=%-10.0f p99=%-10.0f "
+              "p999=%-10.0f max=%" PRIu64 "\n",
+              name.c_str(), h.count, h.Mean(), h.Percentile(0.50),
+              h.Percentile(0.90), h.Percentile(0.99), h.Percentile(0.999),
+              h.max);
+}
+
+void PrintServiceSummary(const net::WireStats& w) {
+  std::printf("service: %s  capacity=%" PRIu64 "  shards=%zu\n",
+              w.filter_name.c_str(), w.capacity, w.shards.size());
+  std::printf("  inserted=%" PRIu64 " (in %" PRIu64 " batches, %" PRIu64
+              " failures)  queried=%" PRIu64 " (in %" PRIu64 " batches)\n",
+              w.keys_inserted, w.insert_batches, w.insert_failures,
+              w.keys_queried, w.query_batches);
+  const uint64_t looks = w.front_cache_hits + w.front_cache_misses;
+  if (looks != 0) {
+    std::printf("  front-cache: %" PRIu64 " hits / %" PRIu64
+                " misses (%.1f%% hit rate)\n",
+                w.front_cache_hits, w.front_cache_misses,
+                100.0 * static_cast<double>(w.front_cache_hits) /
+                    static_cast<double>(looks));
+  }
+}
+
+// Prints one scrape; `prev` (may be null) turns counters into interval
+// deltas and histograms into interval distributions.
+void PrintMetrics(const std::vector<obs::MetricSample>& cur,
+                  const std::vector<obs::MetricSample>* prev,
+                  double interval_s) {
+  if (cur.empty()) {
+    std::printf("metrics: (empty — server predates STATS v2 or was built "
+                "with PF_OBS=OFF)\n");
+    return;
+  }
+  std::printf("metrics (%zu series%s):\n", cur.size(),
+              prev != nullptr ? ", interval values" : "");
+  for (const obs::MetricSample& s : cur) {
+    const std::string name = s.name + LabelSuffix(s);
+    const obs::MetricSample* was =
+        prev != nullptr
+            ? obs::FindSample(*prev, s.name,
+                              s.labels.empty() ? "" : s.labels[0].first,
+                              s.labels.empty() ? "" : s.labels[0].second)
+            : nullptr;
+    switch (s.kind) {
+      case obs::MetricKind::kCounter: {
+        if (was != nullptr) {
+          const int64_t delta = s.value - was->value;
+          std::printf("  %-44s %" PRId64 "  (+%.0f/s)\n", name.c_str(),
+                      s.value,
+                      interval_s > 0 ? static_cast<double>(delta) / interval_s
+                                     : 0.0);
+        } else {
+          std::printf("  %-44s %" PRId64 "\n", name.c_str(), s.value);
+        }
+        break;
+      }
+      case obs::MetricKind::kGauge:
+        std::printf("  %-44s %" PRId64 " (gauge)\n", name.c_str(), s.value);
+        break;
+      case obs::MetricKind::kHistogram: {
+        if (was != nullptr) {
+          PrintHistRow(name, DiffHist(s.hist, was->hist));
+        } else {
+          PrintHistRow(name, s.hist);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool watch = false;
+  bool diff = false;
+  double interval_s = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      const std::string target = arg.substr(10);
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants HOST:PORT\n");
+        return 2;
+      }
+      host = target.substr(0, colon);
+      port = static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+    } else if (arg == "--watch") {
+      watch = true;
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      interval_s = std::atof(arg.c_str() + 11);
+      if (interval_s <= 0) interval_s = 1.0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: example_pf_stat --connect=HOST:PORT "
+                  "[--diff|--watch] [--interval=SECONDS]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "missing --connect=HOST:PORT\n");
+    return 2;
+  }
+
+  net::ClientOptions options;
+  options.host = host;
+  options.port = port;
+  net::MembershipClient client(options);
+
+  net::WireStats scrape;
+  if (!client.StatsV2(&scrape)) {
+    std::fprintf(stderr, "scrape failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  PrintServiceSummary(scrape);
+  if (!watch && !diff) {
+    PrintMetrics(scrape.metrics, nullptr, 0);
+    return 0;
+  }
+
+  // --diff is one iteration of --watch.
+  net::WireStats prev = std::move(scrape);
+  do {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_s));
+    net::WireStats cur;
+    if (!client.StatsV2(&cur)) {
+      std::fprintf(stderr, "scrape failed: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("--- +%.1fs: +%" PRIu64 " keys queried, +%" PRIu64
+                " keys inserted ---\n",
+                interval_s, cur.keys_queried - prev.keys_queried,
+                cur.keys_inserted - prev.keys_inserted);
+    PrintMetrics(cur.metrics, &prev.metrics, interval_s);
+    prev = std::move(cur);
+  } while (watch);
+  return 0;
+}

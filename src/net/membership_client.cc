@@ -287,6 +287,22 @@ bool MembershipClient::Stats(WireStats* out) {
   return true;
 }
 
+bool MembershipClient::StatsV2(WireStats* out) {
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> request;
+  EncodeStatsRequest(id, kStatsPayloadV2, &request);
+  Frame response;
+  if (!Roundtrip(request, id, &response)) return false;
+  if (response.opcode != static_cast<uint8_t>(Opcode::kStats) ||
+      !DecodeStatsPayload(response.payload.data(), response.payload.size(),
+                          out)) {
+    Fail("malformed STATS response");
+    Disconnect();
+    return false;
+  }
+  return true;
+}
+
 bool MembershipClient::Snapshot(std::vector<uint8_t>* out) {
   const uint64_t id = next_request_id_++;
   std::vector<uint8_t> request;

@@ -71,6 +71,11 @@ class MembershipClient {
                       std::vector<uint8_t>* out);
 
   bool Stats(WireStats* out);
+  // Requests the v2 stats payload (front_cache_misses + the server's full
+  // metrics-registry snapshot).  A pre-v2 server ignores the request marker
+  // and answers v1, which still decodes — out->metrics is simply empty, so
+  // callers distinguish by out->metrics.empty().
+  bool StatsV2(WireStats* out);
   bool Snapshot(std::vector<uint8_t>* out);
 
   // --- client-side counters -------------------------------------------------

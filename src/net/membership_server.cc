@@ -11,7 +11,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <utility>
+
+#include "src/obs/exposition.h"
 
 namespace prefixfilter::net {
 namespace {
@@ -39,6 +43,7 @@ WireStats CollectWireStats(const FilterService& service) {
   wire.keys_queried = stats.keys_queried;
   wire.insert_failures = stats.insert_failures;
   wire.front_cache_hits = stats.front_cache_hits;
+  wire.front_cache_misses = stats.front_cache_misses;
   const ShardedFilter& filter = service.filter();
   wire.filter_name = filter.Name();
   wire.capacity = filter.Capacity();
@@ -57,9 +62,99 @@ WireStats CollectWireStats(const FilterService& service) {
 
 MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
                                    ServerOptions options)
-    : service_(std::move(service)), options_(std::move(options)) {}
+    : service_(std::move(service)),
+      options_(std::move(options)),
+      registry_(options_.registry != nullptr
+                    ? options_.registry
+                    : &obs::MetricsRegistry::Global()),
+      active_conns_gauge_(registry_->GetGauge("net.server.connections.active")),
+      insert_request_hist_(registry_->GetHistogram("net.server.request.ns",
+                                                   {{"op", "insert"}})),
+      query_request_hist_(registry_->GetHistogram("net.server.request.ns",
+                                                  {{"op", "query"}})),
+      stats_request_hist_(registry_->GetHistogram("net.server.request.ns",
+                                                  {{"op", "stats"}})),
+      snapshot_request_hist_(registry_->GetHistogram("net.server.request.ns",
+                                                     {{"op", "snapshot"}})),
+      merge_frames_hist_(registry_->GetHistogram("net.server.merge.frames")) {
+  collector_id_ = registry_->AddCollector(
+      [this](std::vector<obs::MetricSample>* samples) {
+        const ServerStats s = stats();
+        const auto counter = [samples](const char* name, uint64_t value) {
+          obs::MetricSample sample;
+          sample.name = name;
+          sample.kind = obs::MetricKind::kCounter;
+          sample.value = static_cast<int64_t>(value);
+          samples->push_back(std::move(sample));
+        };
+        counter("net.server.connections.accepted", s.connections_accepted);
+        counter("net.server.connections.dropped", s.connections_dropped);
+        counter("net.server.frames.in", s.frames_received);
+        counter("net.server.frames.out", s.frames_sent);
+        counter("net.server.protocol.errors", s.protocol_errors);
+        counter("net.server.keys.inserted", s.inserts_served);
+        counter("net.server.keys.queried", s.queries_served);
+        counter("net.server.frames.merged", s.query_frames_merged);
+        counter("net.server.bytes.in", s.bytes_in);
+        counter("net.server.bytes.out", s.bytes_out);
+        counter("net.server.http.requests", s.http_requests);
+      });
+}
 
-MembershipServer::~MembershipServer() { Stop(); }
+MembershipServer::~MembershipServer() {
+  Stop();
+  registry_->RemoveCollector(collector_id_);
+}
+
+namespace {
+
+// Opens a non-blocking listening socket on addr:port; returns -1 and fills
+// *error on failure, else the fd with *bound_port resolved (port 0 cases).
+int OpenListener(const std::string& address, uint16_t port, int backlog,
+                 uint16_t* bound_port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad bind address: " + address;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  *bound_port = ntohs(bound.sin_port);
+  if (!SetNonBlocking(fd)) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
 
 bool MembershipServer::Start() {
   if (started_) {
@@ -68,41 +163,13 @@ bool MembershipServer::Start() {
   }
   started_ = true;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    error_ = "bad bind address: " + options_.bind_address;
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
-    return false;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                  &bound_len) != 0) {
-    error_ = std::string("getsockname: ") + std::strerror(errno);
-    return false;
-  }
-  port_ = ntohs(bound.sin_port);
-  if (!SetNonBlocking(listen_fd_)) {
-    error_ = std::string("fcntl: ") + std::strerror(errno);
-    return false;
+  listen_fd_ = OpenListener(options_.bind_address, options_.port,
+                            options_.backlog, &port_, &error_);
+  if (listen_fd_ < 0) return false;
+  if (options_.enable_http) {
+    http_listen_fd_ = OpenListener(options_.bind_address, options_.http_port,
+                                   options_.backlog, &http_port_, &error_);
+    if (http_listen_fd_ < 0) return false;
   }
 
   int wake[2];
@@ -115,7 +182,8 @@ bool MembershipServer::Start() {
 
   poller_ = Poller::Create(options_.use_epoll);
   if (poller_ == nullptr || !poller_->Add(listen_fd_, false) ||
-      !poller_->Add(wake_read_fd_, false)) {
+      !poller_->Add(wake_read_fd_, false) ||
+      (http_listen_fd_ >= 0 && !poller_->Add(http_listen_fd_, false))) {
     error_ = "poller setup failed";
     return false;
   }
@@ -140,8 +208,10 @@ void MembershipServer::Stop() {
     (void)conn;
     ::close(fd);
   }
+  active_conns_gauge_->Add(-static_cast<int64_t>(connections_.size()));
   connections_.clear();
-  for (int* fd : {&listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
+  for (int* fd :
+       {&listen_fd_, &http_listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
   }
@@ -158,11 +228,15 @@ ServerStats MembershipServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.connections_dropped = connections_dropped_.load(std::memory_order_relaxed);
   s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.inserts_served = inserts_served_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.query_frames_merged =
       query_frames_merged_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.http_requests = http_requests_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -178,14 +252,20 @@ void MembershipServer::Loop() {
         continue;
       }
       if (event.fd == listen_fd_) {
-        AcceptAll();
+        AcceptAll(listen_fd_, /*is_http=*/false);
+        continue;
+      }
+      if (http_listen_fd_ >= 0 && event.fd == http_listen_fd_) {
+        AcceptAll(http_listen_fd_, /*is_http=*/true);
         continue;
       }
       auto it = connections_.find(event.fd);
       if (it == connections_.end()) continue;  // closed earlier this round
       Connection& conn = it->second;
       bool alive = !event.error;
-      if (alive && event.readable) alive = ServeConnection(conn);
+      if (alive && event.readable) {
+        alive = conn.is_http ? ServeHttpConnection(conn) : ServeConnection(conn);
+      }
       if (alive && event.writable) alive = FlushOutbox(conn);
       if (!alive) {
         // A clean shutdown (EOF after everything was served) is not a drop.
@@ -196,9 +276,9 @@ void MembershipServer::Loop() {
   running_.store(false, std::memory_order_release);
 }
 
-void MembershipServer::AcceptAll() {
+void MembershipServer::AcceptAll(int listen_fd, bool is_http) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -224,8 +304,10 @@ void MembershipServer::AcceptAll() {
     }
     Connection conn;
     conn.fd = fd;
+    conn.is_http = is_http;
     connections_.emplace(fd, std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_conns_gauge_->Add(1);
   }
 }
 
@@ -242,6 +324,7 @@ bool MembershipServer::ServeConnection(Connection& conn) {
   while (conn.decoder.buffered() < read_cap) {
     const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), 0);
     if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
       conn.decoder.Feed(scratch, static_cast<size_t>(n));
       continue;
     }
@@ -281,6 +364,86 @@ bool MembershipServer::ServeConnection(Connection& conn) {
   return FlushOutbox(conn);
 }
 
+bool MembershipServer::ServeHttpConnection(Connection& conn) {
+  // Minimal HTTP/1.x service, just enough for scrapes: buffer until the
+  // request head is complete, answer exactly one request, then close after
+  // the response drains (the same peer_closed/FlushOutbox path wire
+  // connections use).  Request bodies and keep-alive are not supported — a
+  // Prometheus scrape or `curl` needs neither.
+  constexpr size_t kMaxHttpHead = 16u << 10;
+  uint8_t scratch[4096];
+  bool peer_closed = false;
+  while (conn.http_in.size() < kMaxHttpHead) {
+    const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      conn.http_in.insert(conn.http_in.end(), scratch, scratch + n);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn.dropped = true;
+    return false;
+  }
+  if (!conn.outbox.empty()) return FlushOutbox(conn);  // already answered
+  const std::string_view head(reinterpret_cast<const char*>(
+                                  conn.http_in.data()),
+                              conn.http_in.size());
+  const size_t head_end = head.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (conn.http_in.size() >= kMaxHttpHead || peer_closed) {
+      conn.dropped = true;  // oversized or truncated request head
+      return false;
+    }
+    return true;  // wait for the rest of the head
+  }
+
+  // Request line: METHOD SP target SP version.  The target's query string
+  // (if any) does not change the routing.
+  const std::string_view line = head.substr(0, head.find("\r\n"));
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    conn.dropped = true;
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    content_type = "text/plain; charset=utf-8";
+    body = "method not allowed\n";
+  } else if (target == "/metrics") {
+    body = obs::RenderPrometheusText(registry_->Collect());
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found; try /metrics\n";
+  }
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  conn.outbox.insert(conn.outbox.end(), response.begin(), response.end());
+  // One request per connection: drain the response, then close (FlushOutbox
+  // returns false once a peer_closed connection's outbox empties).
+  conn.peer_closed = true;
+  return FlushOutbox(conn);
+}
+
 void MembershipServer::HandleFrame(
     Connection& conn, Frame& frame, std::vector<uint64_t>* pending_keys,
     std::vector<std::pair<uint64_t, uint32_t>>* pending_queries) {
@@ -291,6 +454,7 @@ void MembershipServer::HandleFrame(
                         frame.is_response() ? "unexpected response flag"
                                             : "unknown opcode",
                         &conn.outbox);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const Opcode opcode = static_cast<Opcode>(frame.opcode);
@@ -304,6 +468,7 @@ void MembershipServer::HandleFrame(
       FlushQueries(conn, pending_keys, pending_queries);
       EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
                           "malformed key batch", &conn.outbox);
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (!pending_queries->empty()) {
@@ -317,8 +482,10 @@ void MembershipServer::HandleFrame(
   // Every other opcode is a pipeline barrier: responses must come back in
   // request order, so the accumulated queries execute first.
   FlushQueries(conn, pending_keys, pending_queries);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
   switch (opcode) {
     case Opcode::kInsertBatch: {
+      obs::ScopedLatency timer(insert_request_hist_);
       std::vector<uint64_t> keys;
       if (!DecodeKeyBatchPayload(frame.payload.data(), frame.payload.size(),
                                  &keys)) {
@@ -333,11 +500,20 @@ void MembershipServer::HandleFrame(
       return;
     }
     case Opcode::kStats: {
-      EncodeStatsResponse(frame.request_id, CollectWireStats(*service_),
-                          &conn.outbox);
+      obs::ScopedLatency timer(stats_request_hist_);
+      WireStats wire = CollectWireStats(*service_);
+      if (StatsRequestVersion(frame.payload.data(), frame.payload.size()) >=
+          kStatsPayloadV2) {
+        wire.metrics = registry_->Collect();
+        EncodeStatsV2Response(frame.request_id, wire, &conn.outbox);
+      } else {
+        // Byte-identical to the pre-v2 encoding: old clients keep working.
+        EncodeStatsResponse(frame.request_id, wire, &conn.outbox);
+      }
       return;
     }
     case Opcode::kSnapshot: {
+      obs::ScopedLatency timer(snapshot_request_hist_);
       std::vector<uint8_t> snapshot;
       if (!service_->Snapshot(&snapshot)) {
         EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kInternal,
@@ -365,10 +541,15 @@ void MembershipServer::FlushQueries(
     Connection& conn, std::vector<uint64_t>* pending_keys,
     std::vector<std::pair<uint64_t, uint32_t>>* pending) {
   if (pending->empty()) return;
+  // One latency sample per merged batch: the whole decode-to-encode window
+  // every frame in the pipeline run shares.
+  obs::ScopedLatency timer(query_request_hist_);
+  merge_frames_hist_->Record(pending->size());
   std::vector<uint8_t> results(pending_keys->size());
   service_->QueryBatchSync(pending_keys->data(), pending_keys->size(),
                            results.data());
   queries_served_.fetch_add(pending_keys->size(), std::memory_order_relaxed);
+  frames_sent_.fetch_add(pending->size(), std::memory_order_relaxed);
   size_t offset = 0;
   for (const auto& [request_id, count] : *pending) {
     EncodeQueryResponse(request_id, results.data() + offset, count,
@@ -385,6 +566,8 @@ bool MembershipServer::FlushOutbox(Connection& conn) {
         ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
                conn.outbox.size() - conn.outbox_sent, MSG_NOSIGNAL);
     if (n > 0) {
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
       conn.outbox_sent += static_cast<size_t>(n);
       continue;
     }
@@ -424,6 +607,7 @@ void MembershipServer::CloseConnection(int fd, bool dropped) {
   poller_->Remove(fd);
   ::close(fd);
   connections_.erase(fd);
+  active_conns_gauge_->Add(-1);
   if (dropped) connections_dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -32,6 +32,7 @@
 
 #include "src/net/poller.h"
 #include "src/net/protocol.h"
+#include "src/obs/metrics.h"
 #include "src/service/filter_service.h"
 
 namespace prefixfilter::net {
@@ -56,6 +57,15 @@ struct ServerOptions {
   // memory and how long one flooding client can monopolize the loop.
   // Clamped up to one max-size frame so a legal frame always fits.
   size_t max_read_buffer = kMaxPayload + kFrameHeaderBytes;
+  // Serve a plaintext HTTP listener (GET /metrics -> Prometheus text
+  // exposition of the metrics registry) on the same event loop.  0 =
+  // kernel-assigned port, reported by http_port().
+  bool enable_http = false;
+  uint16_t http_port = 0;
+  // Registry the server instruments into and the one /metrics + STATS v2
+  // expose; nullptr = obs::MetricsRegistry::Global().  Must be the registry
+  // the FilterService uses for its samples to appear in the same scrape.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // Event-loop counters, readable concurrently with the running server.
@@ -63,10 +73,14 @@ struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_dropped = 0;  // protocol errors / overflow / rejects
   uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;          // response frames queued to outboxes
   uint64_t protocol_errors = 0;
   uint64_t inserts_served = 0;       // keys
   uint64_t queries_served = 0;       // keys
   uint64_t query_frames_merged = 0;  // extra frames coalesced into a batch
+  uint64_t bytes_in = 0;             // raw socket bytes (both listeners)
+  uint64_t bytes_out = 0;
+  uint64_t http_requests = 0;        // HTTP requests answered (any status)
 };
 
 class MembershipServer {
@@ -87,6 +101,8 @@ class MembershipServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   // The bound port (resolves port 0), valid after Start() succeeded.
   uint16_t port() const { return port_; }
+  // The bound HTTP port, valid after Start() when options.enable_http.
+  uint16_t http_port() const { return http_port_; }
   const std::string& error() const { return error_; }
   // "epoll" or "poll", valid after Start().
   const char* poller_name() const;
@@ -107,13 +123,21 @@ class MembershipServer {
     // Peer sent EOF; the connection only survives to drain its outbox
     // (write-interest only — a level-triggered EOF must not spin the loop).
     bool peer_closed = false;
+    // Accepted on the HTTP listener: the byte stream is HTTP/1.x, served by
+    // ServeHttpConnection, one request per connection (Connection: close).
+    bool is_http = false;
+    std::vector<uint8_t> http_in;  // unparsed HTTP request bytes
   };
 
   void Loop();
-  void AcceptAll();
+  void AcceptAll(int listen_fd, bool is_http);
   // Reads, decodes, and serves everything buffered on `conn`.  Returns false
   // when the connection must be closed.
   bool ServeConnection(Connection& conn);
+  // HTTP counterpart: reads until a full request head, answers GET /metrics
+  // with the Prometheus rendering of the registry, and closes after the
+  // response drains (via the peer_closed/FlushOutbox path).
+  bool ServeHttpConnection(Connection& conn);
   void HandleFrame(Connection& conn, Frame& frame,
                    std::vector<uint64_t>* pending_keys,
                    std::vector<std::pair<uint64_t, uint32_t>>* pending_queries);
@@ -130,9 +154,11 @@ class MembershipServer {
   std::unique_ptr<Poller> poller_;
   std::unordered_map<int, Connection> connections_;
   int listen_fd_ = -1;
+  int http_listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   uint16_t port_ = 0;
+  uint16_t http_port_ = 0;
   std::string error_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
@@ -142,10 +168,26 @@ class MembershipServer {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_dropped_{0};
   std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> inserts_served_{0};
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> query_frames_merged_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> http_requests_{0};
+
+  // Observability: histograms resolved once at construction and recorded on
+  // the event-loop thread; the atomics above reach the registry through a
+  // scrape-time collector (see the constructor).
+  obs::MetricsRegistry* registry_;
+  obs::Gauge* active_conns_gauge_;
+  obs::LatencyHistogram* insert_request_hist_;
+  obs::LatencyHistogram* query_request_hist_;
+  obs::LatencyHistogram* stats_request_hist_;
+  obs::LatencyHistogram* snapshot_request_hist_;
+  obs::LatencyHistogram* merge_frames_hist_;
+  uint64_t collector_id_ = 0;
 };
 
 // Fills a WireStats from a service (shared by the STATS handler and tests).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/exposition.h"
 #include "src/util/serialize.h"
 
 namespace prefixfilter::net {
@@ -180,33 +181,75 @@ bool DecodeErrorPayload(const uint8_t* payload, size_t len, ErrorCode* code,
   return true;
 }
 
+namespace {
+
+// Shared by both response versions: everything the v1 payload carries after
+// the version byte.  Keeping one spelling guarantees the v2 layout is a
+// strict prefix-extension of v1.
+void WriteStatsV1Fields(ByteWriter* w, const WireStats& stats) {
+  w->Str(stats.filter_name);
+  w->U64(stats.capacity);
+  w->U64(stats.insert_batches);
+  w->U64(stats.query_batches);
+  w->U64(stats.keys_inserted);
+  w->U64(stats.keys_queried);
+  w->U64(stats.insert_failures);
+  w->U64(stats.front_cache_hits);
+  w->U32(static_cast<uint32_t>(stats.shards.size()));
+  for (const WireShardStats& s : stats.shards) {
+    w->U64(s.inserts);
+    w->U64(s.insert_failures);
+    w->U64(s.queries);
+    w->U64(s.hits);
+  }
+}
+
+}  // namespace
+
+void EncodeStatsRequest(uint64_t request_id, uint8_t max_version,
+                        std::vector<uint8_t>* out) {
+  if (max_version <= kStatsPayloadV1) {
+    // The legacy request is the empty payload; old servers require
+    // remaining() == 0 semantics only on responses, but keep the historical
+    // bytes anyway.
+    AppendFrame(Opcode::kStats, 0, request_id, nullptr, 0, out);
+    return;
+  }
+  const uint8_t payload[1] = {max_version};
+  AppendFrame(Opcode::kStats, 0, request_id, payload, sizeof(payload), out);
+}
+
+uint8_t StatsRequestVersion(const uint8_t* payload, size_t len) {
+  if (len == 0 || payload == nullptr) return kStatsPayloadV1;
+  return payload[0] >= kStatsPayloadV2 ? kStatsPayloadV2 : kStatsPayloadV1;
+}
+
 void EncodeStatsResponse(uint64_t request_id, const WireStats& stats,
                          std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   ByteWriter w(&payload);
-  w.U8(1);  // stats payload version
-  w.Str(stats.filter_name);
-  w.U64(stats.capacity);
-  w.U64(stats.insert_batches);
-  w.U64(stats.query_batches);
-  w.U64(stats.keys_inserted);
-  w.U64(stats.keys_queried);
-  w.U64(stats.insert_failures);
-  w.U64(stats.front_cache_hits);
-  w.U32(static_cast<uint32_t>(stats.shards.size()));
-  for (const WireShardStats& s : stats.shards) {
-    w.U64(s.inserts);
-    w.U64(s.insert_failures);
-    w.U64(s.queries);
-    w.U64(s.hits);
-  }
+  w.U8(kStatsPayloadV1);
+  WriteStatsV1Fields(&w, stats);
+  AppendFrame(Opcode::kStats, kFlagResponse, request_id, payload.data(),
+              payload.size(), out);
+}
+
+void EncodeStatsV2Response(uint64_t request_id, const WireStats& stats,
+                           std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U8(kStatsPayloadV2);
+  WriteStatsV1Fields(&w, stats);
+  w.U64(stats.front_cache_misses);
+  obs::EncodeMetricSamples(stats.metrics, &payload);
   AppendFrame(Opcode::kStats, kFlagResponse, request_id, payload.data(),
               payload.size(), out);
 }
 
 bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats) {
   ByteReader r(payload, len);
-  if (r.U8() != 1) return false;
+  const uint8_t version = r.U8();
+  if (version != kStatsPayloadV1 && version != kStatsPayloadV2) return false;
   WireStats out;
   out.filter_name = r.Str();
   out.capacity = r.U64();
@@ -227,6 +270,10 @@ bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats) {
     s.insert_failures = r.U64();
     s.queries = r.U64();
     s.hits = r.U64();
+  }
+  if (version >= kStatsPayloadV2) {
+    out.front_cache_misses = r.U64();
+    if (!obs::DecodeMetricSamples(&r, &out.metrics)) return false;
   }
   if (!r.ok() || r.remaining() != 0) return false;
   *stats = std::move(out);

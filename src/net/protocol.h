@@ -24,8 +24,11 @@
 //   INSERT_BATCH / QUERY_BATCH request:  u32 count, then count x u64 keys
 //   INSERT_BATCH response:               u64 failed-insert count
 //   QUERY_BATCH  response:               u32 count, then count x u8 (0/1)
-//   STATS        request:                empty
-//   STATS        response:               WireStats (see EncodeStatsPayload)
+//   STATS        request:                empty (v1) or u8 max payload
+//                                        version the client accepts (>= 2)
+//   STATS        response:               WireStats; payload version byte 1
+//                                        (legacy fields) or 2 (adds
+//                                        front_cache_misses + metrics blob)
 //   SNAPSHOT     request:                empty
 //   SNAPSHOT     response:               AnyFilter envelope bytes (the same
 //                                        image FilterService::Snapshot writes)
@@ -49,6 +52,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace prefixfilter::net {
 
@@ -151,6 +156,15 @@ struct WireShardStats {
 // Service-wide stats snapshot served by the STATS opcode.  The per-shard
 // vector is the observable proof that socket traffic rides the
 // BatchRouter/shard path (tests and the loadgen assert on it).
+//
+// Versioning (negotiated inside the STATS payloads, independent of the frame
+// header version): a v1 request has an empty payload and gets the original
+// v1 response; a v2-capable client sends a 1-byte payload [0x02] and a
+// v2-capable server answers with payload version 2 — every v1 field, then
+// front_cache_misses and the full metrics-registry snapshot.  Old servers
+// ignore the request payload entirely and answer v1 (which the v2 decoder
+// accepts), old clients never send the marker and keep getting byte-
+// identical v1 responses.
 struct WireStats {
   std::string filter_name;
   uint64_t capacity = 0;
@@ -161,11 +175,29 @@ struct WireStats {
   uint64_t insert_failures = 0;
   uint64_t front_cache_hits = 0;
   std::vector<WireShardStats> shards;
+  // --- v2 fields (zero/empty when decoded from a v1 payload) ----------------
+  uint64_t front_cache_misses = 0;
+  std::vector<obs::MetricSample> metrics;
 };
 
+inline constexpr uint8_t kStatsPayloadV1 = 1;
+inline constexpr uint8_t kStatsPayloadV2 = 2;
+
+// STATS request advertising the highest payload version the client decodes
+// (kStatsPayloadV1 encodes the legacy empty payload).
+void EncodeStatsRequest(uint64_t request_id, uint8_t max_version,
+                        std::vector<uint8_t>* out);
+// v1 response: byte-identical to the historical encoding (old clients
+// require remaining() == 0 after the shard array).
 void EncodeStatsResponse(uint64_t request_id, const WireStats& stats,
                          std::vector<uint8_t>* out);
+// v2 response: v1 fields + front_cache_misses + stats.metrics.
+void EncodeStatsV2Response(uint64_t request_id, const WireStats& stats,
+                           std::vector<uint8_t>* out);
+// Accepts payload versions 1 and 2.
 bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats);
+// The payload version a STATS *request* asks for (empty payload = v1).
+uint8_t StatsRequestVersion(const uint8_t* payload, size_t len);
 
 // --- incremental decoding ---------------------------------------------------
 

@@ -1,0 +1,232 @@
+#include "src/obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace prefixfilter::obs {
+namespace {
+
+// Caps mirroring the protocol's stance: bound every count against the bytes
+// actually present before allocating.
+constexpr uint32_t kMaxSamples = 1u << 16;
+constexpr uint32_t kMaxLabels = 64;
+constexpr size_t kMaxNameLen = 256;
+
+// Minimum wire footprint of one sample: name length (4) + kind (1) +
+// label count (4) + scalar value (8).
+constexpr size_t kMinSampleBytes = 17;
+
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra_key, const std::string& extra_value,
+    std::string* out) {
+  if (labels.empty() && extra_key.empty()) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += PrometheusName(k);
+    *out += "=\"";
+    AppendEscaped(v, out);
+    out->push_back('"');
+  }
+  if (!extra_key.empty()) {
+    if (!first) out->push_back(',');
+    *out += extra_key;
+    *out += "=\"";
+    *out += extra_value;
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& dotted) {
+  std::string out;
+  out.reserve(dotted.size());
+  for (char c : dotted) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+void EncodeMetricSamples(const std::vector<MetricSample>& samples,
+                         std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.U32(static_cast<uint32_t>(samples.size()));
+  for (const MetricSample& s : samples) {
+    w.Str(s.name);
+    w.U8(static_cast<uint8_t>(s.kind));
+    w.U32(static_cast<uint32_t>(s.labels.size()));
+    for (const auto& [k, v] : s.labels) {
+      w.Str(k);
+      w.Str(v);
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      w.U64(s.hist.count);
+      w.U64(s.hist.sum);
+      w.U64(s.hist.min);
+      w.U64(s.hist.max);
+      w.U32(static_cast<uint32_t>(s.hist.buckets.size()));
+      for (const auto& [index, count] : s.hist.buckets) {
+        w.U32(index);
+        w.U64(count);
+      }
+    } else {
+      w.U64(static_cast<uint64_t>(s.value));
+    }
+  }
+}
+
+bool DecodeMetricSamples(ByteReader* r, std::vector<MetricSample>* out) {
+  const uint32_t num_samples = r->U32();
+  if (!r->ok() || num_samples > kMaxSamples ||
+      static_cast<size_t>(num_samples) * kMinSampleBytes > r->remaining()) {
+    return false;
+  }
+  std::vector<MetricSample> samples;
+  samples.reserve(num_samples);
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    MetricSample s;
+    s.name = r->Str(kMaxNameLen);
+    const uint8_t kind = r->U8();
+    if (kind > static_cast<uint8_t>(MetricKind::kHistogram)) return false;
+    s.kind = static_cast<MetricKind>(kind);
+    const uint32_t num_labels = r->U32();
+    if (!r->ok() || num_labels > kMaxLabels) return false;
+    s.labels.reserve(num_labels);
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      std::string k = r->Str(kMaxNameLen);
+      std::string v = r->Str(kMaxNameLen);
+      s.labels.emplace_back(std::move(k), std::move(v));
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      s.hist.count = r->U64();
+      s.hist.sum = r->U64();
+      s.hist.min = r->U64();
+      s.hist.max = r->U64();
+      const uint32_t num_buckets = r->U32();
+      // 12 bytes per (index, count) pair must fit in what remains.
+      if (!r->ok() || num_buckets > LatencyHistogram::kNumBuckets ||
+          static_cast<size_t>(num_buckets) * 12 > r->remaining()) {
+        return false;
+      }
+      s.hist.buckets.reserve(num_buckets);
+      uint32_t prev_index = 0;
+      for (uint32_t b = 0; b < num_buckets; ++b) {
+        const uint32_t index = r->U32();
+        const uint64_t count = r->U64();
+        // Indices must be in-range and strictly ascending (the snapshot
+        // invariant percentile walks rely on).
+        if (index >= LatencyHistogram::kNumBuckets ||
+            (b > 0 && index <= prev_index)) {
+          return false;
+        }
+        prev_index = index;
+        s.hist.buckets.emplace_back(index, count);
+      }
+    } else {
+      s.value = static_cast<int64_t>(r->U64());
+    }
+    if (!r->ok()) return false;
+    samples.push_back(std::move(s));
+  }
+  *out = std::move(samples);
+  return true;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  out.reserve(4096);
+  std::string last_typed;  // one # TYPE line per metric name
+  for (const MetricSample& s : samples) {
+    const std::string name = "pf_" + PrometheusName(s.name);
+    if (name != last_typed) {
+      out += "# TYPE ";
+      out += name;
+      switch (s.kind) {
+        case MetricKind::kCounter:
+          out += " counter\n";
+          break;
+        case MetricKind::kGauge:
+          out += " gauge\n";
+          break;
+        case MetricKind::kHistogram:
+          out += " histogram\n";
+          break;
+      }
+      last_typed = name;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (const auto& [index, count] : s.hist.buckets) {
+        cumulative += count;
+        const uint64_t upper = LatencyHistogram::BucketLowerBound(index) +
+                               LatencyHistogram::BucketWidth(index) - 1;
+        out += name;
+        out += "_bucket";
+        std::string le;
+        AppendU64(upper, &le);
+        AppendLabels(s.labels, "le", le, &out);
+        out.push_back(' ');
+        AppendU64(cumulative, &out);
+        out.push_back('\n');
+      }
+      out += name;
+      out += "_bucket";
+      AppendLabels(s.labels, "le", "+Inf", &out);
+      out.push_back(' ');
+      AppendU64(s.hist.count, &out);
+      out.push_back('\n');
+      out += name;
+      out += "_sum";
+      AppendLabels(s.labels, std::string(), std::string(), &out);
+      out.push_back(' ');
+      AppendU64(s.hist.sum, &out);
+      out.push_back('\n');
+      out += name;
+      out += "_count";
+      AppendLabels(s.labels, std::string(), std::string(), &out);
+      out.push_back(' ');
+      AppendU64(s.hist.count, &out);
+      out.push_back('\n');
+    } else {
+      out += name;
+      AppendLabels(s.labels, std::string(), std::string(), &out);
+      out.push_back(' ');
+      AppendI64(s.value, &out);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace prefixfilter::obs

@@ -1,0 +1,278 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bits.h"
+
+namespace prefixfilter::obs {
+
+namespace internal {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+// --- histogram bucket geometry ----------------------------------------------
+
+uint32_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  const uint32_t msb = HighestSetBit64(value);
+  uint32_t exp = msb - kSubBits;  // octave number, 0 for [16, 32)
+  if (exp > kOctaves - 1) {
+    // Beyond the representable range: clamp into the last bucket.
+    return kNumBuckets - 1;
+  }
+  const uint32_t sub =
+      static_cast<uint32_t>((value >> exp) - kSubBuckets);  // [0, 16)
+  return kSubBuckets * (exp + 1) + sub;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(uint32_t index) {
+  if (index >= kNumBuckets) index = kNumBuckets - 1;
+  if (index < kSubBuckets) return index;
+  const uint32_t exp = index / kSubBuckets - 1;
+  const uint32_t sub = index % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << exp;
+}
+
+uint64_t LatencyHistogram::BucketWidth(uint32_t index) {
+  if (index >= kNumBuckets) index = kNumBuckets - 1;
+  if (index < kSubBuckets) return 1;
+  return uint64_t{1} << (index / kSubBuckets - 1);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == ~uint64_t{0} ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) snap.buckets.emplace_back(i, c);
+  }
+  // Concurrent Record() calls can make count_ lag the bucket array (the
+  // bucket is bumped first); re-derive the total so the snapshot is
+  // internally consistent for percentile walks.
+  uint64_t bucket_total = 0;
+  for (const auto& [index, c] : snap.buckets) bucket_total += c;
+  snap.count = bucket_total;
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (const auto& [index, c] : buckets) {
+    cumulative += c;
+    if (cumulative >= rank) {
+      const uint64_t upper = LatencyHistogram::BucketLowerBound(index) +
+                             LatencyHistogram::BucketWidth(index) - 1;
+      // Clamp into the observed [min, max] (min/max are racy best-effort, so
+      // order them defensively rather than assuming min <= max).
+      const uint64_t hi = std::max(min, max);
+      return static_cast<double>(std::min(std::max(upper, min), hi));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// --- registry ----------------------------------------------------------------
+
+namespace {
+
+// Canonical map key: kind byte, name, then sorted label pairs, separated by
+// 0x1f (a byte that cannot appear in sane metric names).
+std::string EntryKey(MetricKind kind, const std::string& name,
+                     const MetricsRegistry::Labels& labels) {
+  std::string key;
+  key.reserve(name.size() + 16);
+  key.push_back(static_cast<char>('0' + static_cast<int>(kind)));
+  key.push_back('\x1f');
+  key += name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('\x1f');
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  Labels&& labels,
+                                                  MetricKind kind) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = EntryKey(kind, name, labels);
+  std::lock_guard<std::mutex> guard(mutex_);
+  Entry& entry = entries_[key];
+  if (entry.name.empty()) {
+    entry.name = name;
+    entry.labels = std::move(labels);
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+  }
+  return entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  return GetEntry(name, std::move(labels), MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  return GetEntry(name, std::move(labels), MetricKind::kGauge).gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                Labels labels) {
+  return GetEntry(name, std::move(labels), MetricKind::kHistogram)
+      .histogram.get();
+}
+
+uint64_t MetricsRegistry::AddCollector(CollectFn fn) {
+#ifdef PF_OBS_DISABLED
+  (void)fn;
+  return 0;
+#else
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint64_t id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+#endif
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  if (id == 0) return;
+  // Holding the mutex here serializes removal against Collect(), so once
+  // RemoveCollector returns the callback can never run again — the owner's
+  // destructor may safely free the state it reads.
+  std::lock_guard<std::mutex> guard(mutex_);
+  collectors_.erase(id);
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> samples;
+#ifdef PF_OBS_DISABLED
+  return samples;
+#else
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    samples.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      MetricSample s;
+      s.name = entry.name;
+      s.labels = entry.labels;
+      s.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          s.value = static_cast<int64_t>(entry.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          s.value = entry.gauge->Value();
+          break;
+        case MetricKind::kHistogram:
+          s.hist = entry.histogram->Snapshot();
+          break;
+      }
+      samples.push_back(std::move(s));
+    }
+    for (const auto& [id, fn] : collectors_) fn(&samples);
+  }
+  for (MetricSample& s : samples) std::sort(s.labels.begin(), s.labels.end());
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.labels != b.labels) return a.labels < b.labels;
+              return a.kind < b.kind;
+            });
+  // Aggregate duplicate series (several instances sharing one registry).
+  std::vector<MetricSample> out;
+  out.reserve(samples.size());
+  for (MetricSample& s : samples) {
+    if (!out.empty() && out.back().name == s.name &&
+        out.back().labels == s.labels && out.back().kind == s.kind) {
+      if (s.kind == MetricKind::kHistogram) {
+        out.back().hist.Merge(s.hist);
+      } else {
+        out.back().value += s.value;
+      }
+    } else {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+#endif
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const MetricSample* FindSample(const std::vector<MetricSample>& samples,
+                               const std::string& name,
+                               const std::string& label_key,
+                               const std::string& label_value) {
+  for (const MetricSample& s : samples) {
+    if (s.name != name) continue;
+    if (label_key.empty()) return &s;
+    for (const auto& [k, v] : s.labels) {
+      if (k == label_key && v == label_value) return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace prefixfilter::obs

@@ -12,14 +12,55 @@ FilterService::FilterService(std::shared_ptr<ShardedFilter> filter,
       max_pending_(std::max<size_t>(1, options.max_pending)),
       front_cache_(options.front_cache_slots > 0
                        ? std::make_unique<FrontCache>(options.front_cache_slots)
-                       : nullptr) {
+                       : nullptr),
+      registry_(options.registry != nullptr
+                    ? options.registry
+                    : &obs::MetricsRegistry::Global()),
+      queue_depth_gauge_(registry_->GetGauge("service.queue.depth")),
+      queue_wait_hist_(registry_->GetHistogram("service.queue.wait.ns")),
+      insert_exec_hist_(
+          registry_->GetHistogram("service.exec.ns", {{"op", "insert"}})),
+      query_exec_hist_(
+          registry_->GetHistogram("service.exec.ns", {{"op", "query"}})),
+      insert_batch_keys_hist_(
+          registry_->GetHistogram("service.batch.keys", {{"op", "insert"}})),
+      query_batch_keys_hist_(
+          registry_->GetHistogram("service.batch.keys", {{"op", "query"}})) {
+  filter_->EnableMetrics(registry_);
+  collector_id_ = registry_->AddCollector(
+      [this](std::vector<obs::MetricSample>* samples) {
+        const FilterServiceStats s = stats();
+        const auto counter = [samples](const char* name, uint64_t value,
+                                       obs::MetricsRegistry::Labels labels =
+                                           {}) {
+          obs::MetricSample sample;
+          sample.name = name;
+          sample.labels = std::move(labels);
+          sample.kind = obs::MetricKind::kCounter;
+          sample.value = static_cast<int64_t>(value);
+          samples->push_back(std::move(sample));
+        };
+        counter("service.batches", s.insert_batches, {{"op", "insert"}});
+        counter("service.batches", s.query_batches, {{"op", "query"}});
+        counter("service.keys", s.keys_inserted, {{"op", "insert"}});
+        counter("service.keys", s.keys_queried, {{"op", "query"}});
+        counter("service.insert.failures", s.insert_failures);
+        counter("service.front_cache.hits", s.front_cache_hits);
+        counter("service.front_cache.misses", s.front_cache_misses);
+      });
   workers_.reserve(num_threads_);
   for (uint32_t t = 0; t < num_threads_; ++t) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
 }
 
-FilterService::~FilterService() { Stop(); }
+FilterService::~FilterService() {
+  Stop();
+  // After this the collector can never fire again (RemoveCollector holds the
+  // registry lock against in-flight Collect calls), so members it reads may
+  // be torn down.
+  registry_->RemoveCollector(collector_id_);
+}
 
 std::future<uint64_t> FilterService::InsertBatch(std::vector<uint64_t> keys) {
   Request request;
@@ -46,6 +87,7 @@ void FilterService::Enqueue(Request request) {
     Execute(request);
     return;
   }
+  request.enqueue_ns = obs::NowNanos();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -65,6 +107,7 @@ void FilterService::Enqueue(Request request) {
     }
     queue_.push_back(std::move(request));
   }
+  queue_depth_gauge_->Add(1);
   queue_nonempty_.notify_one();
 }
 
@@ -80,6 +123,8 @@ void FilterService::Execute(Request& request) {
 }
 
 uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
+  obs::ScopedLatency timer(insert_exec_hist_);
+  insert_batch_keys_hist_->Record(count);
   std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
   const uint64_t failures = filter_->InsertBatch(keys, count);
   insert_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -90,6 +135,8 @@ uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
 
 void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
                                    uint8_t* out) {
+  obs::ScopedLatency timer(query_exec_hist_);
+  query_batch_keys_hist_->Record(count);
   std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
   QueryLocked(keys, count, out);
   query_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -146,6 +193,8 @@ void FilterService::QueryLocked(const uint64_t* keys, size_t count,
       out[scratch.miss_pos[m]] = scratch.miss_out[m];
       if (scratch.miss_out[m]) front_cache_->Store(scratch.miss_keys[m]);
     }
+    front_cache_misses_.fetch_add(scratch.miss_keys.size(),
+                                  std::memory_order_relaxed);
   }
   if (cache_hits != 0) {
     front_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
@@ -158,6 +207,7 @@ bool FilterService::Contains(uint64_t key) const {
       front_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    front_cache_misses_.fetch_add(1, std::memory_order_relaxed);
     const bool hit = filter_->Contains(key);
     if (hit) front_cache_->Store(key);
     return hit;
@@ -180,6 +230,8 @@ void FilterService::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    queue_depth_gauge_->Add(-1);
+    queue_wait_hist_->Record(obs::NowNanos() - request.enqueue_ns);
     queue_nonfull_.notify_one();
     Execute(request);
     {
@@ -223,6 +275,7 @@ FilterServiceStats FilterService::stats() const {
   s.keys_queried = keys_queried_.load(std::memory_order_relaxed);
   s.insert_failures = insert_failures_.load(std::memory_order_relaxed);
   s.front_cache_hits = front_cache_hits_.load(std::memory_order_relaxed);
+  s.front_cache_misses = front_cache_misses_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/service/front_cache.h"
 #include "src/service/sharded_filter.h"
 
@@ -47,6 +48,10 @@ struct FilterServiceOptions {
   // src/service/front_cache.h.  Absorbs duplicate-heavy traffic without
   // changing any observable answer.  0 (the default) disables it.
   size_t front_cache_slots = 0;
+  // Metrics registry the service (and its ShardedFilter) instruments into;
+  // nullptr = the process-wide obs::MetricsRegistry::Global().  Tests pass a
+  // local registry for isolation.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // Service-level counters (per-shard counters live in ShardedFilter).
@@ -58,6 +63,9 @@ struct FilterServiceStats {
   uint64_t insert_failures = 0;
   // Queries answered by the front cache without touching the filter.
   uint64_t front_cache_hits = 0;
+  // Queries that consulted an enabled front cache and fell through to the
+  // filter (0 when the cache is disabled — hit rate is hits/(hits+misses)).
+  uint64_t front_cache_misses = 0;
 };
 
 class FilterService {
@@ -120,6 +128,8 @@ class FilterService {
     std::vector<uint64_t> keys;
     std::promise<uint64_t> insert_result;
     std::promise<std::vector<uint8_t>> query_result;
+    // Enqueue timestamp feeding the service.queue.wait.ns histogram.
+    uint64_t enqueue_ns = 0;
   };
 
   void Enqueue(Request request);
@@ -156,6 +166,19 @@ class FilterService {
   std::atomic<uint64_t> insert_failures_{0};
   // mutable: bumped from the const Contains() fast path.
   mutable std::atomic<uint64_t> front_cache_hits_{0};
+  mutable std::atomic<uint64_t> front_cache_misses_{0};
+
+  // Observability: histograms/gauges resolved once at construction, updated
+  // lock-free on the request path; the counters above reach the registry
+  // through a scrape-time collector (zero extra hot-path cost).
+  obs::MetricsRegistry* registry_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::LatencyHistogram* queue_wait_hist_;
+  obs::LatencyHistogram* insert_exec_hist_;
+  obs::LatencyHistogram* query_exec_hist_;
+  obs::LatencyHistogram* insert_batch_keys_hist_;
+  obs::LatencyHistogram* query_batch_keys_hist_;
+  uint64_t collector_id_ = 0;
 };
 
 // Builds a FilterService for any factory filter name: "SHARD<n>[<inner>]"

@@ -161,6 +161,11 @@ void ShardedFilter::ContainsBatch(const uint64_t* keys, size_t count,
 
 void ShardedFilter::QueryShard(uint32_t shard_index, const uint64_t* keys,
                                size_t count, uint8_t* out) const {
+  // Per-shard group size: how many keys of a routed batch landed together
+  // (the distribution that tells whether counting-sort grouping is paying
+  // off).  A null histogram (metrics not enabled) costs one predictable
+  // branch.
+  if (group_keys_hist_ != nullptr) group_keys_hist_->Record(count);
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> guard(shard.mutex);
   shard.filter->ContainsBatch(keys, count, out);
@@ -172,6 +177,7 @@ void ShardedFilter::QueryShard(uint32_t shard_index, const uint64_t* keys,
 
 uint64_t ShardedFilter::InsertShard(uint32_t shard_index,
                                     const uint64_t* keys, size_t count) {
+  if (group_keys_hist_ != nullptr) group_keys_hist_->Record(count);
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> guard(shard.mutex);
   shard.stats.inserts += count;
@@ -276,6 +282,47 @@ size_t ShardedFilter::SpaceBytes() const {
 
 std::string ShardedFilter::Name() const {
   return "SHARD" + std::to_string(num_shards_) + "[" + options_.backend + "]";
+}
+
+ShardedFilter::~ShardedFilter() {
+  // Must detach before the shards the collector reads are destroyed;
+  // RemoveCollector blocks out any in-flight Collect().
+  if (registry_ != nullptr) registry_->RemoveCollector(collector_id_);
+}
+
+void ShardedFilter::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr || registry_ != nullptr) return;
+  registry_ = registry;
+  group_keys_hist_ = registry->GetHistogram("shard.group.keys");
+  // Scrape-time view over the ShardStats already maintained under the shard
+  // locks — per-shard occupancy (keys the shard absorbed), probe counts, and
+  // hits cost the hot path nothing extra.
+  collector_id_ = registry->AddCollector(
+      [this](std::vector<obs::MetricSample>* samples) {
+        for (uint32_t s = 0; s < num_shards_; ++s) {
+          const ShardStats stats = shard_stats(s);
+          const std::string shard_label = std::to_string(s);
+          obs::MetricSample occupancy;
+          occupancy.name = "shard.occupancy.keys";
+          occupancy.labels = {{"shard", shard_label}};
+          occupancy.kind = obs::MetricKind::kGauge;
+          occupancy.value =
+              static_cast<int64_t>(stats.inserts - stats.insert_failures);
+          samples->push_back(std::move(occupancy));
+          obs::MetricSample probes;
+          probes.name = "shard.probes";
+          probes.labels = {{"shard", shard_label}};
+          probes.kind = obs::MetricKind::kCounter;
+          probes.value = static_cast<int64_t>(stats.queries);
+          samples->push_back(std::move(probes));
+          obs::MetricSample hits;
+          hits.name = "shard.hits";
+          hits.labels = {{"shard", shard_label}};
+          hits.kind = obs::MetricKind::kCounter;
+          hits.value = static_cast<int64_t>(stats.hits);
+          samples->push_back(std::move(hits));
+        }
+      });
 }
 
 ShardStats ShardedFilter::shard_stats(uint32_t shard_index) const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/filter_factory.h"
+#include "src/obs/metrics.h"
 #include "src/util/hash.h"
 
 namespace prefixfilter {
@@ -119,6 +120,18 @@ class ShardedFilter final : public AnyFilter {
   // Aggregate over all shards.
   ShardStats TotalStats() const;
 
+  // Attaches observability to `registry` (FilterService calls this when it
+  // wraps the filter): per-shard-group batch sizes feed the
+  // shard.group.keys histogram on the QueryShard/InsertShard paths, and a
+  // scrape-time collector exposes per-shard occupancy/probe/hit counters
+  // derived from the ShardStats this filter already maintains.  Deliberately
+  // NOT called by the bare factory path, so standalone filters (bench_all's
+  // scalar timing loops) carry zero instrumentation.  Detached automatically
+  // in the destructor.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+  ~ShardedFilter() override;
+
  private:
   ShardedFilter(uint64_t capacity, ShardedFilterOptions options);
 
@@ -135,6 +148,11 @@ class ShardedFilter final : public AnyFilter {
   uint64_t shard_salt_;
   uint64_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Observability (null/0 until EnableMetrics; see its comment).
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::LatencyHistogram* group_keys_hist_ = nullptr;
+  uint64_t collector_id_ = 0;
 };
 
 }  // namespace prefixfilter

@@ -65,6 +65,47 @@ TEST(FilterService, InsertAndQueryBatchesThroughFutures) {
   EXPECT_EQ(stats.insert_failures, 0u);
 }
 
+// The worker-pool path is the only one that queues, so it alone feeds the
+// queue-wait histogram and depth gauge; exec-time histograms count batches.
+TEST(FilterService, WorkerPathRecordsQueueAndExecTelemetry) {
+  if (!obs::kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  obs::MetricsRegistry registry;  // local: isolated from other tests
+  FilterServiceOptions options;
+  options.num_threads = 2;
+  options.registry = &registry;
+  const uint64_t n = 50000;
+  FilterService service(MakeSharded(n, 881), options);
+  const auto keys = RandomKeys(n, 882);
+
+  constexpr size_t kBatch = 5000;
+  std::vector<std::future<uint64_t>> inserts;
+  for (size_t base = 0; base < keys.size(); base += kBatch) {
+    inserts.push_back(service.InsertBatch(std::vector<uint64_t>(
+        keys.begin() + base, keys.begin() + base + kBatch)));
+  }
+  for (auto& f : inserts) EXPECT_EQ(f.get(), 0u);
+  const auto answers =
+      service.QueryBatch(std::vector<uint64_t>(keys.begin(),
+                                               keys.begin() + 10000)).get();
+  ASSERT_EQ(answers.size(), 10000u);
+
+  const auto samples = registry.Collect();
+  const obs::MetricSample* wait =
+      obs::FindSample(samples, "service.queue.wait.ns");
+  ASSERT_NE(wait, nullptr);
+  // Every queued request recorded a wait (n/kBatch inserts + 1 query).
+  EXPECT_EQ(wait->hist.count, n / kBatch + 1);
+  const obs::MetricSample* exec =
+      obs::FindSample(samples, "service.exec.ns", "op", "insert");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->hist.count, n / kBatch);
+  EXPECT_GT(exec->hist.Percentile(0.99), 0.0);
+  const obs::MetricSample* depth =
+      obs::FindSample(samples, "service.queue.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value, 0);  // queue drained once the futures resolved
+}
+
 TEST(FilterService, ManyConcurrentClients) {
   const uint64_t n = 160000;
   FilterService service(MakeSharded(n, 194),

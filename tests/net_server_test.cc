@@ -11,7 +11,9 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,9 +25,9 @@
 namespace prefixfilter::net {
 namespace {
 
-std::shared_ptr<FilterService> MakeService(uint64_t capacity,
-                                           uint32_t shards = 8,
-                                           size_t front_cache_slots = 0) {
+std::shared_ptr<FilterService> MakeService(
+    uint64_t capacity, uint32_t shards = 8, size_t front_cache_slots = 0,
+    obs::MetricsRegistry* registry = nullptr) {
   ShardedFilterOptions options;
   options.num_shards = shards;
   options.seed = 0x5e12;
@@ -34,6 +36,7 @@ std::shared_ptr<FilterService> MakeService(uint64_t capacity,
   FilterServiceOptions service_options;
   service_options.num_threads = 0;  // the event loop serves synchronously
   service_options.front_cache_slots = front_cache_slots;
+  service_options.registry = registry;
   return std::make_shared<FilterService>(
       std::shared_ptr<ShardedFilter>(filter.release()), service_options);
 }
@@ -352,6 +355,150 @@ TEST(MembershipServer, FrontCacheServesRepeatsOverTheWire) {
   // Only the first touch of each hot key (and direct-mapped slot collisions)
   // can miss; virtually all of the 1600 queries hit the cache.
   EXPECT_GT(stats.front_cache_hits, uint64_t{kReps} * hot.size() / 2);
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+// Blocking HTTP exchange against the server's metrics listener: sends the
+// raw request text and reads until the server closes (Connection: close).
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  RawConn conn(port);
+  conn.Send(std::vector<uint8_t>(request.begin(), request.end()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(conn.fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+// Value of the exposition line that starts with `series` exactly (name plus
+// rendered labels); -1 when the series is absent.
+double SeriesValue(const std::string& body, const std::string& series) {
+  const std::string want = series + " ";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (body.compare(pos, want.size(), want) == 0) {
+      return std::atof(body.c_str() + pos + want.size());
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+TEST(MembershipServer, HttpMetricsExposeCoreSeriesAfterTraffic) {
+  obs::MetricsRegistry registry;  // local registry: isolated from other tests
+  auto service = MakeService(20000, /*shards=*/8, /*front_cache_slots=*/1024,
+                             &registry);
+  ServerOptions options;
+  options.enable_http = true;
+  options.registry = &registry;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  ASSERT_NE(server.http_port(), 0);
+
+  // Drive real traffic first so the core series have samples: a bulk insert,
+  // then repeated hot-set queries (front-cache hits AND misses).
+  MembershipClient client(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(20000, 701);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+  std::vector<uint64_t> hot(keys.begin(), keys.begin() + 64);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<uint8_t> answers;
+    ASSERT_TRUE(client.QueryBatch(hot.data(), hot.size(), &answers));
+  }
+
+  const std::string response = HttpExchange(
+      server.http_port(), "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  if (!obs::kEnabled) return;  // PF_OBS=OFF: endpoint answers, registry empty
+
+  // Per-opcode request latency histograms recorded on the event loop.
+  EXPECT_GT(
+      SeriesValue(body, "pf_net_server_request_ns_count{op=\"insert\"}"), 0);
+  EXPECT_GT(
+      SeriesValue(body, "pf_net_server_request_ns_count{op=\"query\"}"), 0);
+  // Service-stage series (threaded through the same registry).
+  EXPECT_GT(SeriesValue(body, "pf_service_exec_ns_count{op=\"query\"}"), 0);
+  EXPECT_GT(SeriesValue(body, "pf_service_front_cache_hits"), 0);
+  EXPECT_GT(SeriesValue(body, "pf_service_front_cache_misses"), 0);
+  // Collector-backed event-loop counters and the connection gauge.
+  EXPECT_GT(SeriesValue(body, "pf_net_server_bytes_in"), 0);
+  EXPECT_GT(SeriesValue(body, "pf_net_server_keys_inserted"), 0);
+  EXPECT_GE(SeriesValue(body, "pf_net_server_connections_active"), 1);
+  // Histogram exposition is well-formed: the +Inf bucket equals _count.
+  EXPECT_EQ(SeriesValue(
+                body,
+                "pf_net_server_request_ns_bucket{op=\"query\",le=\"+Inf\"}"),
+            SeriesValue(body, "pf_net_server_request_ns_count{op=\"query\"}"));
+}
+
+TEST(MembershipServer, StatsV2CarriesMetricsAndLegacyStatsStillWorks) {
+  obs::MetricsRegistry registry;
+  auto service = MakeService(10000, /*shards=*/8, /*front_cache_slots=*/256,
+                             &registry);
+  ServerOptions options;
+  options.registry = &registry;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  MembershipClient client(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(10000, 702);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryBatch(keys.data(), 512, &answers));
+  ASSERT_TRUE(client.QueryBatch(keys.data(), 512, &answers));  // cache hits
+
+  WireStats v2;
+  ASSERT_TRUE(client.StatsV2(&v2)) << client.error();
+  EXPECT_EQ(v2.keys_inserted, keys.size());
+  // Front-cache counters surface in the wire payload; the second identical
+  // batch guarantees hits, the first guarantees misses.
+  EXPECT_GT(v2.front_cache_hits, 0u);
+  EXPECT_GT(v2.front_cache_misses, 0u);
+  if (obs::kEnabled) {
+    ASSERT_FALSE(v2.metrics.empty());
+    const obs::MetricSample* qhist =
+        obs::FindSample(v2.metrics, "net.server.request.ns", "op", "query");
+    ASSERT_NE(qhist, nullptr);
+    EXPECT_GT(qhist->hist.count, 0u);
+    EXPECT_GT(qhist->hist.Percentile(0.99), 0.0);
+    const obs::MetricSample* inserted =
+        obs::FindSample(v2.metrics, "net.server.keys.inserted");
+    ASSERT_NE(inserted, nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(inserted->value), keys.size());
+  }
+
+  // The legacy empty-payload STATS request still round-trips against a v2
+  // server (old clients keep working); its reply carries no metrics blob.
+  WireStats v1;
+  ASSERT_TRUE(client.Stats(&v1)) << client.error();
+  EXPECT_EQ(v1.keys_inserted, keys.size());
+  EXPECT_TRUE(v1.metrics.empty());
+}
+
+TEST(MembershipServer, HttpUnknownPathAndMethodDrawErrorStatuses) {
+  auto service = MakeService(1000);
+  ServerOptions options;
+  options.enable_http = true;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  const std::string miss =
+      HttpExchange(server.http_port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(miss.find("404"), std::string::npos) << miss;
+  const std::string post =
+      HttpExchange(server.http_port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
 }
 
 TEST(MembershipServer, StartReportsBindFailure) {

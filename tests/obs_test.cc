@@ -1,0 +1,370 @@
+// Unit tests for the observability subsystem (src/obs): log-linear histogram
+// bucket math, percentile extraction, snapshot merging, thread-striped
+// counter exactness under concurrency, registry idempotence and collector
+// lifecycle, the binary sample wire codec, and the Prometheus text renderer.
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/exposition.h"
+#include "src/util/serialize.h"
+
+namespace prefixfilter::obs {
+namespace {
+
+// --- bucket math (pure statics: hold in every build configuration) ---------
+
+TEST(LatencyHistogram, BucketIndexIsExactBelowSixteen) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(LatencyHistogram::BucketWidth(static_cast<uint32_t>(v)), 1u);
+  }
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  // Sweep octave boundaries and their neighborhoods: indices never decrease
+  // and never skip more than one bucket.
+  uint32_t prev = 0;
+  for (uint64_t v = 0; v < (1u << 20); ++v) {
+    const uint32_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(index, prev) << "v=" << v;
+    ASSERT_LE(index, prev + 1) << "v=" << v;
+    prev = index;
+  }
+  for (int exp = 20; exp < 63; ++exp) {
+    for (int64_t delta = -2; delta <= 2; ++delta) {
+      const uint64_t v = (uint64_t{1} << exp) + static_cast<uint64_t>(delta);
+      const uint64_t w = v + 1;
+      ASSERT_LE(LatencyHistogram::BucketIndex(v),
+                LatencyHistogram::BucketIndex(w));
+    }
+  }
+}
+
+TEST(LatencyHistogram, LowerBoundInvertsBucketIndex) {
+  for (uint32_t index = 0; index < LatencyHistogram::kNumBuckets; ++index) {
+    const uint64_t low = LatencyHistogram::BucketLowerBound(index);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(low), index);
+    // The last value of the bucket still maps to it (the final bucket also
+    // absorbs everything beyond the covered range).
+    const uint64_t high = low + LatencyHistogram::BucketWidth(index) - 1;
+    if (index + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_EQ(LatencyHistogram::BucketIndex(high), index);
+      EXPECT_EQ(LatencyHistogram::BucketIndex(high + 1), index + 1);
+    }
+  }
+}
+
+TEST(LatencyHistogram, HugeValuesClampIntoLastBucket) {
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogram, RelativeBucketErrorIsBounded) {
+  // Log-linear design point: above 16, bucket width / lower bound <= 1/16.
+  for (uint32_t index = 16; index < LatencyHistogram::kNumBuckets; ++index) {
+    const double low =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(index));
+    const double width =
+        static_cast<double>(LatencyHistogram::BucketWidth(index));
+    EXPECT_LE(width / low, 1.0 / 16 + 1e-9) << "index=" << index;
+  }
+}
+
+// --- recording and percentiles ---------------------------------------------
+
+TEST(LatencyHistogram, PercentilesOnKnownDistribution) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram h;
+  // 1..1000 exactly once: p50 ~ 500, p90 ~ 900, p99 ~ 990 (within one
+  // sub-bucket, ~6%).
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, 1000u * 1001 / 2);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_NEAR(snap.Percentile(0.50), 500.0, 500.0 / 16 + 1);
+  EXPECT_NEAR(snap.Percentile(0.90), 900.0, 900.0 / 16 + 1);
+  EXPECT_NEAR(snap.Percentile(0.99), 990.0, 990.0 / 16 + 1);
+  EXPECT_NEAR(snap.Mean(), 500.5, 1e-9);
+  // Quantile edges.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Percentile(0.5), 0.0);
+  EXPECT_GE(snap.Percentile(1.0), 1000.0 * 15 / 16);
+  EXPECT_LE(snap.Percentile(0.0), snap.Percentile(1.0));
+}
+
+TEST(LatencyHistogram, ExactPercentilesBelowSixteen) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) {
+    for (int rep = 0; rep < 10; ++rep) h.Record(v);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  // Unit buckets below 16: percentiles are exact there.
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0 / 16), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 15.0);
+}
+
+TEST(HistogramSnapshot, MergeMatchesCombinedRecording) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram a, b, combined;
+  for (uint64_t v = 1; v <= 500; ++v) {
+    a.Record(v * 3);
+    combined.Record(v * 3);
+  }
+  for (uint64_t v = 1; v <= 300; ++v) {
+    b.Record(v * 7);
+    combined.Record(v * 7);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot expect = combined.Snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum, expect.sum);
+  EXPECT_EQ(merged.min, expect.min);
+  EXPECT_EQ(merged.max, expect.max);
+  ASSERT_EQ(merged.buckets, expect.buckets);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(q), expect.Percentile(q));
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + (i % 977));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const auto& [index, count] : snap.buckets) {
+    bucket_total += count;
+    (void)index;
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  Counter c;
+  constexpr int kThreads = 16;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, AddAndSet) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  Gauge g;
+  g.Add(5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+  g.Set(-7);
+  EXPECT_EQ(g.Value(), -7);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(MetricsRegistry, GetIsIdempotentAndLabelOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count", {{"op", "q"}, {"shard", "1"}});
+  Counter* b = registry.GetCounter("x.count", {{"shard", "1"}, {"op", "q"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("x.count", {{"op", "q"}}));
+  EXPECT_NE(a, registry.GetCounter("x.count"));
+  // Same name, different kind: distinct instruments, both collectable.
+  LatencyHistogram* h = registry.GetHistogram("x.count");
+  EXPECT_NE(static_cast<void*>(h), static_cast<void*>(a));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+}
+
+TEST(MetricsRegistry, CollectReportsInstrumentsAndCollectors) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(41);
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("b.depth")->Set(7);
+  registry.GetHistogram("c.ns", {{"op", "q"}})->Record(100);
+  const uint64_t id =
+      registry.AddCollector([](std::vector<MetricSample>* samples) {
+        MetricSample s;
+        s.name = "d.external";
+        s.kind = MetricKind::kCounter;
+        s.value = 12;
+        samples->push_back(std::move(s));
+      });
+
+  std::vector<MetricSample> samples = registry.Collect();
+  const MetricSample* a = FindSample(samples, "a.count");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, 42);
+  const MetricSample* b = FindSample(samples, "b.depth");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, MetricKind::kGauge);
+  EXPECT_EQ(b->value, 7);
+  const MetricSample* c = FindSample(samples, "c.ns", "op", "q");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->hist.count, 1u);
+  ASSERT_NE(FindSample(samples, "d.external"), nullptr);
+
+  // Sorted output (the Prometheus renderer and diff tools rely on it).
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end(),
+                             [](const MetricSample& x, const MetricSample& y) {
+                               return x.name < y.name ||
+                                      (x.name == y.name && x.labels < y.labels);
+                             }));
+
+  registry.RemoveCollector(id);
+  samples = registry.Collect();
+  EXPECT_EQ(FindSample(samples, "d.external"), nullptr);
+  // Removing twice (or an unknown id) is a harmless no-op.
+  registry.RemoveCollector(id);
+  registry.RemoveCollector(0);
+}
+
+TEST(MetricsRegistry, CollectAggregatesDuplicateSeries) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  // Two collectors emitting the same (name, labels, kind) — the shape two
+  // service instances sharing one registry produce.  Scalars sum, histograms
+  // merge, so the exposition stays one valid series.
+  MetricsRegistry registry;
+  for (int i = 0; i < 2; ++i) {
+    registry.AddCollector([](std::vector<MetricSample>* samples) {
+      MetricSample s;
+      s.name = "dup.count";
+      s.kind = MetricKind::kCounter;
+      s.value = 10;
+      samples->push_back(std::move(s));
+    });
+  }
+  const std::vector<MetricSample> samples = registry.Collect();
+  int seen = 0;
+  for (const MetricSample& s : samples) seen += s.name == "dup.count";
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(FindSample(samples, "dup.count")->value, 20);
+}
+
+// --- wire codec --------------------------------------------------------------
+
+TEST(Exposition, EncodeDecodeRoundtrip) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("net.bytes", {{"dir", "in"}})->Add(123456);
+  registry.GetGauge("queue.depth")->Set(-3);
+  LatencyHistogram* h = registry.GetHistogram("req.ns");
+  for (uint64_t v = 1; v <= 5000; ++v) h->Record(v * 13);
+  const std::vector<MetricSample> samples = registry.Collect();
+
+  std::vector<uint8_t> bytes;
+  EncodeMetricSamples(samples, &bytes);
+  ByteReader reader(bytes.data(), bytes.size());
+  std::vector<MetricSample> decoded;
+  ASSERT_TRUE(DecodeMetricSamples(&reader, &decoded));
+  EXPECT_EQ(reader.remaining(), 0u);
+  ASSERT_EQ(decoded.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(decoded[i].name, samples[i].name);
+    EXPECT_EQ(decoded[i].labels, samples[i].labels);
+    EXPECT_EQ(decoded[i].kind, samples[i].kind);
+    EXPECT_EQ(decoded[i].value, samples[i].value);
+    EXPECT_EQ(decoded[i].hist.count, samples[i].hist.count);
+    EXPECT_EQ(decoded[i].hist.sum, samples[i].hist.sum);
+    EXPECT_EQ(decoded[i].hist.buckets, samples[i].hist.buckets);
+  }
+  const MetricSample* hist = FindSample(decoded, "req.ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_NEAR(hist->hist.Percentile(0.5), 2500.0 * 13, 2500.0 * 13 / 16 + 1);
+}
+
+TEST(Exposition, DecodeRejectsMalformedInput) {
+  // Truncations and corruptions of a valid encoding must fail cleanly, never
+  // crash or over-allocate (the decoder feeds from untrusted sockets).
+  MetricSample s;
+  s.name = "a.b";
+  s.kind = MetricKind::kCounter;
+  s.value = 5;
+  std::vector<uint8_t> bytes;
+  EncodeMetricSamples({s}, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteReader reader(bytes.data(), cut);
+    std::vector<MetricSample> out;
+    EXPECT_FALSE(DecodeMetricSamples(&reader, &out)) << "cut=" << cut;
+  }
+  // A hostile sample count cannot force a giant allocation.
+  std::vector<uint8_t> hostile = {0xFF, 0xFF, 0xFF, 0x7F};
+  ByteReader reader(hostile.data(), hostile.size());
+  std::vector<MetricSample> out;
+  EXPECT_FALSE(DecodeMetricSamples(&reader, &out));
+}
+
+// --- Prometheus rendering ----------------------------------------------------
+
+TEST(Exposition, PrometheusNameMangling) {
+  EXPECT_EQ(PrometheusName("net.server.bytes.in"), "net_server_bytes_in");
+  EXPECT_EQ(PrometheusName("weird-name+x"), "weird_name_x");
+}
+
+TEST(Exposition, PrometheusTextRendersAllKinds) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("svc.reqs", {{"op", "q"}})->Add(9);
+  registry.GetGauge("svc.depth")->Set(4);
+  LatencyHistogram* h = registry.GetHistogram("svc.ns");
+  h->Record(10);
+  h->Record(100);
+  const std::string text = RenderPrometheusText(registry.Collect());
+
+  EXPECT_NE(text.find("# TYPE pf_svc_reqs counter"), std::string::npos);
+  EXPECT_NE(text.find("pf_svc_reqs{op=\"q\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pf_svc_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("pf_svc_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pf_svc_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("pf_svc_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("pf_svc_ns_sum 110"), std::string::npos);
+  EXPECT_NE(text.find("pf_svc_ns_count 2"), std::string::npos);
+  // Cumulative buckets: the le="10" bucket holds 1, +Inf holds 2.
+  EXPECT_NE(text.find("pf_svc_ns_bucket{le=\"10\"} 1"), std::string::npos);
+  // Every line ends in \n (exposition format requirement).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ScopedLatency, RecordsOnDestructionAndToleratesNull) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram h;
+  {
+    ScopedLatency timer(&h);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  {
+    ScopedLatency timer(nullptr);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace prefixfilter::obs
