@@ -59,6 +59,11 @@ struct LoadgenConfig {
   int connections = 4;
   size_t batch = 4096;
   size_t depth = 4;
+  // Self-host event-loop counts (--server-threads=CSV).  The first value is
+  // the loop count for the main phases; more than one value additionally
+  // runs the multi-loop scaling sweep (one fresh server per count, one
+  // `net-scaling,loops=N` row each, speedup relative to the first count).
+  std::vector<uint32_t> server_threads = {1};
   std::vector<std::string> workloads = {"uniform-negative", "mixed-50-50",
                                         "adversarial-dup"};
 };
@@ -126,6 +131,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       config.service_threads =
           static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--server-threads=", 0) == 0) {
+      config.server_threads.clear();
+      for (const std::string& part : bench::SplitCsv(arg.substr(17))) {
+        config.server_threads.push_back(static_cast<uint32_t>(
+            std::max(1, std::atoi(part.c_str()))));
+      }
+      if (config.server_threads.empty()) config.server_threads = {1};
     } else if (arg.rfind("--front-cache=", 0) == 0) {
       config.front_cache_slots =
           static_cast<size_t>(std::atoll(arg.c_str() + 14));
@@ -141,11 +153,15 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: bench_net_loadgen [--quick] [--n-log2=L] [--seed=S]\n"
           "         [--json=PATH] [--connect=host:port] [--filter=NAME]\n"
-          "         [--threads=T] [--connections=C] [--batch=B] [--depth=D]\n"
+          "         [--threads=T] [--server-threads=N[,N...]]\n"
+          "         [--connections=C] [--batch=B] [--depth=D]\n"
           "         [--front-cache=SLOTS] [--workloads=a,b,...]\n"
           "Self-hosts an in-process loopback server unless --connect is\n"
-          "given.  Workloads must share one insert stream (any standard\n"
-          "workload except disjoint-negative).\n");
+          "given.  --server-threads sets the server's event-loop count\n"
+          "(SO_REUSEPORT loop-per-core); a CSV list additionally runs a\n"
+          "scaling sweep emitting one net-scaling,loops=N row per count.\n"
+          "Workloads must share one insert stream (any standard workload\n"
+          "except disjoint-negative).\n");
       return 0;
     } else {
       passthrough.push_back(argv[i]);
@@ -201,16 +217,20 @@ int main(int argc, char** argv) {
                    config.filter.c_str());
       return 2;
     }
-    server = std::make_unique<net::MembershipServer>(service);
+    net::ServerOptions server_options;
+    server_options.num_loops = config.server_threads.front();
+    server = std::make_unique<net::MembershipServer>(service, server_options);
     if (!server->Start()) {
       std::fprintf(stderr, "net_loadgen: server start failed: %s\n",
                    server->error().c_str());
       return 1;
     }
     client_options.port = server->port();
-    std::printf("net_loadgen: self-hosted %s on 127.0.0.1:%u (%s)\n",
+    std::printf("net_loadgen: self-hosted %s on 127.0.0.1:%u (%s, %u loop%s%s)\n",
                 config.filter.c_str(), client_options.port,
-                server->poller_name());
+                server->poller_name(), server->num_loops(),
+                server->num_loops() == 1 ? "" : "s",
+                server->reuseport_active() ? ", reuseport" : "");
   } else {
     const size_t colon = config.connect.rfind(':');
     if (colon == std::string::npos) {
@@ -424,6 +444,104 @@ int main(int argc, char** argv) {
                   scrape.metrics.size());
     }
     runner.Add(before.filter_name, "server-metrics", std::move(metrics));
+  }
+
+  // --- multi-loop scaling sweep (--server-threads=CSV, self-host only) ------
+  // One fresh server per loop count, loaded and queried identically, so the
+  // emitted rows isolate event-loop scaling: `net-scaling,loops=N` with
+  // query_mops and speedup_vs_1loop, the same row style service_scaling uses
+  // for its worker-thread sweep.  The ISSUE/CI acceptance bar (≥2.5x at 4
+  // loops vs 1 on multi-core hardware) reads these rows.
+  if (config.connect.empty() && config.server_threads.size() > 1) {
+    const workload::Stream& stream = streams.front();
+    double base_mops = 0.0;
+    std::printf("net_loadgen: scaling sweep over %zu loop counts "
+                "(%s, %d conns)\n",
+                config.server_threads.size(), stream.spec.name.c_str(),
+                config.connections);
+    for (const uint32_t loops : config.server_threads) {
+      prefixfilter::FilterServiceOptions sweep_service_options;
+      sweep_service_options.num_threads = config.service_threads;
+      sweep_service_options.front_cache_slots = config.front_cache_slots;
+      auto sweep_service = prefixfilter::MakeFilterService(
+          config.filter, n, sweep_service_options, options.seed);
+      net::ServerOptions sweep_server_options;
+      sweep_server_options.num_loops = loops;
+      net::MembershipServer sweep_server(sweep_service, sweep_server_options);
+      if (!sweep_server.Start()) {
+        std::fprintf(stderr, "net_loadgen: sweep server (loops=%u) failed: %s\n",
+                     loops, sweep_server.error().c_str());
+        failed = true;
+        break;
+      }
+      net::ClientOptions sweep_client_options = client_options;
+      sweep_client_options.port = sweep_server.port();
+
+      net::MembershipClient loader(sweep_client_options);
+      bool loaded = loader.Connect();
+      for (size_t base = 0; loaded && base < insert_keys.size();
+           base += config.batch) {
+        const size_t count = std::min(config.batch, insert_keys.size() - base);
+        uint64_t failures = 0;
+        loaded = loader.InsertBatch(insert_keys.data() + base, count,
+                                    &failures);
+      }
+      if (!loaded) {
+        std::fprintf(stderr, "net_loadgen: sweep insert (loops=%u) failed: "
+                     "%s\n", loops, loader.error().c_str());
+        failed = true;
+        continue;
+      }
+
+      const int threads = std::max(1, config.connections);
+      std::vector<WorkerResult> results(threads);
+      std::vector<std::thread> pool;
+      const size_t per_thread = stream.queries.size() / threads;
+      bench::Timer wall;
+      for (int t = 0; t < threads; ++t) {
+        const size_t begin = t * per_thread;
+        const size_t end =
+            t == threads - 1 ? stream.queries.size() : begin + per_thread;
+        pool.emplace_back(RunQuerySlice, sweep_client_options,
+                          std::cref(stream), begin, end, &results[t]);
+      }
+      for (auto& th : pool) th.join();
+      const double seconds = wall.Seconds();
+
+      bench::PhaseStats sweep_stats;
+      std::vector<double> chunk_ns;
+      for (const WorkerResult& r : results) {
+        if (!r.ok || r.false_negatives != 0) {
+          std::fprintf(stderr,
+                       "net_loadgen: sweep (loops=%u): worker failed: %s\n",
+                       loops, r.error.c_str());
+          failed = true;
+        }
+        sweep_stats.ops += r.keys;
+        chunk_ns.insert(chunk_ns.end(), r.chunk_ns.begin(), r.chunk_ns.end());
+      }
+      sweep_stats.seconds = seconds;
+      bench::internal::FillPercentiles(chunk_ns, &sweep_stats);
+      if (base_mops == 0.0) base_mops = sweep_stats.Mops();
+      const double speedup =
+          base_mops > 0.0 ? sweep_stats.Mops() / base_mops : 0.0;
+
+      prefixfilter::json::Value metrics =
+          bench::PhaseMetrics(sweep_stats, "query");
+      metrics.Set("loops", static_cast<uint64_t>(sweep_server.num_loops()));
+      metrics.Set("reuseport",
+                  static_cast<uint64_t>(sweep_server.reuseport_active()));
+      metrics.Set("connections", static_cast<uint64_t>(threads));
+      metrics.Set("speedup_vs_1loop", speedup);
+      std::printf("  loops=%-2u          %8.2f Mops/s  p50 %7.0f ns/op  "
+                  "speedup %.2fx%s\n",
+                  loops, sweep_stats.Mops(), sweep_stats.ns_p50, speedup,
+                  sweep_server.reuseport_active() ? "  (reuseport)" : "");
+      runner.Add(before.filter_name,
+                 "net-scaling,loops=" + std::to_string(loops),
+                 std::move(metrics));
+      sweep_server.Stop();
+    }
   }
 
   if (server != nullptr) {

@@ -9,8 +9,8 @@
 //     restored service answers identically, and exits.
 //
 //   build/example_membership_server --serve [--port=P] [--filter=NAME]
-//       [--capacity=N] [--threads=T] [--front-cache=SLOTS] [--poll]
-//       [--http-port=P]
+//       [--capacity=N] [--threads=T] [--loops=N] [--front-cache=SLOTS]
+//       [--poll] [--http-port=P]
 //     Long-running server for external clients (bench_net_loadgen, the CI
 //     loopback smoke leg).  Prints "listening on 127.0.0.1:<port>" once
 //     ready and serves until SIGINT/SIGTERM.  --http-port additionally
@@ -58,7 +58,7 @@ void OnSignal(int) { g_stop = 1; }
 
 int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
           uint32_t service_threads, size_t front_cache_slots, bool use_epoll,
-          bool enable_http, uint16_t http_port) {
+          uint32_t loops, bool enable_http, uint16_t http_port) {
   auto service =
       MakeService(filter_name, capacity, service_threads, front_cache_slots);
   if (service == nullptr) {
@@ -68,6 +68,7 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
   net::ServerOptions options;
   options.port = port;
   options.use_epoll = use_epoll;
+  options.num_loops = loops;
   options.enable_http = enable_http;
   options.http_port = http_port;
   net::MembershipServer server(service, options);
@@ -76,9 +77,12 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
     return 1;
   }
   std::printf("membership_server: %s (capacity %" PRIu64
-              ", %u shards, %s) listening on 127.0.0.1:%u\n",
+              ", %u shards, %s, %u loop%s%s) listening on 127.0.0.1:%u\n",
               filter_name.c_str(), capacity, service->filter().num_shards(),
-              server.poller_name(), server.port());
+              server.poller_name(), server.num_loops(),
+              server.num_loops() == 1 ? "" : "s",
+              server.reuseport_active() ? ", reuseport" : "",
+              server.port());
   if (enable_http) {
     std::printf("membership_server: metrics on "
                 "http://127.0.0.1:%u/metrics\n",
@@ -216,6 +220,7 @@ int main(int argc, char** argv) {
   std::string filter = "SHARD16[PF[TC]]";
   uint64_t capacity = 4'000'000;
   uint32_t service_threads = 0;
+  uint32_t loops = 1;
   size_t front_cache = 0;
   bool enable_http = false;
   uint16_t http_port = 0;
@@ -231,6 +236,8 @@ int main(int argc, char** argv) {
       capacity = std::strtoull(arg.c_str() + 11, nullptr, 0);
     } else if (arg.rfind("--threads=", 0) == 0) {
       service_threads = static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--loops=", 0) == 0) {
+      loops = static_cast<uint32_t>(std::max(1, std::atoi(arg.c_str() + 8)));
     } else if (arg.rfind("--front-cache=", 0) == 0) {
       front_cache = static_cast<size_t>(std::atoll(arg.c_str() + 14));
     } else if (arg.rfind("--http-port=", 0) == 0) {
@@ -242,8 +249,11 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: example_membership_server [--serve] [--port=P]\n"
           "         [--filter=NAME] [--capacity=N] [--threads=T]\n"
-          "         [--front-cache=SLOTS] [--poll] [--http-port=P]\n"
-          "Without --serve, runs the self-contained loopback demo.\n");
+          "         [--loops=N] [--front-cache=SLOTS] [--poll]\n"
+          "         [--http-port=P]\n"
+          "Without --serve, runs the self-contained loopback demo.\n"
+          "--loops=N serves on N SO_REUSEPORT event loops; --threads=T\n"
+          "adds T filter worker threads (queries then run off-loop).\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
@@ -252,7 +262,7 @@ int main(int argc, char** argv) {
   }
   if (serve) {
     return Serve(filter, capacity, port, service_threads, front_cache,
-                 use_epoll, enable_http, http_port);
+                 use_epoll, loops, enable_http, http_port);
   }
   return Demo();
 }

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <unordered_map>
 #include <utility>
 
 namespace prefixfilter::net {
@@ -215,11 +216,16 @@ bool MembershipClient::QueryPipelined(const uint64_t* keys, size_t count,
     out->assign(count, 0);
 
     struct InFlight {
-      uint64_t request_id;
       size_t offset;  // where this frame's results land in `out`
       size_t count;
     };
-    std::deque<InFlight> window;
+    // Reassembly window keyed by request id: a multi-loop server offloading
+    // batches to its worker pool may answer pipelined frames in any order
+    // (protocol.h), so each response routes by its echoed id, not by send
+    // position.  `order` keeps the send sequence purely for the
+    // responses_reordered() counter.
+    std::unordered_map<uint64_t, InFlight> window;
+    std::deque<uint64_t> order;
     size_t sent = 0;       // keys encoded and sent
     size_t received = 0;   // keys answered
     std::vector<uint8_t> request;
@@ -240,7 +246,8 @@ bool MembershipClient::QueryPipelined(const uint64_t* keys, size_t count,
           break;
         }
         ++frames_sent_;
-        window.push_back({id, sent, n});
+        window.emplace(id, InFlight{sent, n});
+        order.push_back(id);
         sent += n;
       }
       if (!transport_ok) break;
@@ -250,9 +257,23 @@ bool MembershipClient::QueryPipelined(const uint64_t* keys, size_t count,
         transport_ok = false;
         break;
       }
-      const InFlight expect = window.front();
-      window.pop_front();
-      if (!CheckResponse(response, expect.request_id)) return false;
+      const auto it = window.find(response.request_id);
+      if (!response.is_response() || it == window.end()) {
+        // An id we never sent (or already answered): this client and the
+        // server disagree about the stream state; resynchronizing is not
+        // possible.
+        Fail("response stream out of sync");
+        Disconnect();
+        return false;
+      }
+      if (!order.empty() && order.front() != response.request_id) {
+        ++responses_reordered_;
+      }
+      order.erase(std::find(order.begin(), order.end(), response.request_id));
+      // The id matched above, so CheckResponse only screens the error flag.
+      if (!CheckResponse(response, response.request_id)) return false;
+      const InFlight expect = it->second;
+      window.erase(it);
       if (response.opcode != static_cast<uint8_t>(Opcode::kQueryBatch) ||
           !DecodeQueryResponsePayload(response.payload.data(),
                                       response.payload.size(), &results) ||

@@ -6,7 +6,11 @@
 // pipelined query path splits a large key stream into frames of
 // `max_batch_keys` and keeps up to `pipeline_depth` frames in flight, which
 // is what lets the server merge a pipeline window into one BatchRouter batch
-// (the §7 batch-orientation win, preserved across the socket).
+// (the §7 batch-orientation win, preserved across the socket).  Pipelined
+// responses are reassembled by the request id each response echoes, because
+// a server offloading batches to its worker pool may answer them in any
+// order (see protocol.h); responses_reordered() counts how often that
+// actually happened.
 //
 // Reconnect: when `auto_reconnect` is set, an RPC that hits a dead socket
 // tears the connection down, redials, and retries once.  Retrying an insert
@@ -85,6 +89,8 @@ class MembershipClient {
   uint64_t reconnects() const { return reconnects_; }
   // Server-reported per-RPC errors (error-flagged response frames).
   uint64_t remote_errors() const { return remote_errors_; }
+  // Pipelined responses that arrived ahead of an older in-flight frame.
+  uint64_t responses_reordered() const { return responses_reordered_; }
 
  private:
   // Dials if disconnected; false when that fails.
@@ -112,6 +118,7 @@ class MembershipClient {
   uint64_t frames_received_ = 0;
   uint64_t reconnects_ = 0;
   uint64_t remote_errors_ = 0;
+  uint64_t responses_reordered_ = 0;
 };
 
 }  // namespace prefixfilter::net

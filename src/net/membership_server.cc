@@ -77,6 +77,15 @@ MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
       snapshot_request_hist_(registry_->GetHistogram("net.server.request.ns",
                                                      {{"op", "snapshot"}})),
       merge_frames_hist_(registry_->GetHistogram("net.server.merge.frames")) {
+  offload_enabled_ = service_ != nullptr && service_->num_threads() > 0 &&
+                     options_.offload_queries;
+  // Sized (and never resized) here so the scrape-time collector below can
+  // walk it without synchronizing against Start()/Stop().
+  const uint32_t num_loops = std::max(1u, options_.num_loops);
+  loop_traffic_.reserve(num_loops);
+  for (uint32_t i = 0; i < num_loops; ++i) {
+    loop_traffic_.push_back(std::make_unique<LoopTraffic>());
+  }
   collector_id_ = registry_->AddCollector(
       [this](std::vector<obs::MetricSample>* samples) {
         const ServerStats s = stats();
@@ -98,6 +107,31 @@ MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
         counter("net.server.bytes.in", s.bytes_in);
         counter("net.server.bytes.out", s.bytes_out);
         counter("net.server.http.requests", s.http_requests);
+        counter("net.server.batches.offloaded", s.batches_offloaded);
+        counter("net.server.responses.reordered", s.responses_reordered);
+        counter("net.server.backpressure.stalls", s.backpressure_stalls);
+        // Per-loop balance: one labeled series per event loop, so /metrics
+        // shows whether SO_REUSEPORT (or the fallback) spreads the load.
+        for (size_t i = 0; i < loop_traffic_.size(); ++i) {
+          const LoopTraffic& t = *loop_traffic_[i];
+          const obs::MetricsRegistry::Labels labels = {
+              {"loop", std::to_string(i)}};
+          const auto loop_counter = [samples, &labels](const char* name,
+                                                       uint64_t value) {
+            obs::MetricSample sample;
+            sample.name = name;
+            sample.labels = labels;
+            sample.kind = obs::MetricKind::kCounter;
+            sample.value = static_cast<int64_t>(value);
+            samples->push_back(std::move(sample));
+          };
+          loop_counter("net.server.loop.connections",
+                       t.accepted.load(std::memory_order_relaxed));
+          loop_counter("net.server.loop.frames",
+                       t.frames.load(std::memory_order_relaxed));
+          loop_counter("net.server.loop.keys",
+                       t.keys.load(std::memory_order_relaxed));
+        }
       });
 }
 
@@ -110,8 +144,11 @@ namespace {
 
 // Opens a non-blocking listening socket on addr:port; returns -1 and fills
 // *error on failure, else the fd with *bound_port resolved (port 0 cases).
+// `reuseport` additionally requests SO_REUSEPORT (the kernel then balances
+// accepts across every socket bound to the same addr:port); its failure is
+// reported like any other so the caller can fall back.
 int OpenListener(const std::string& address, uint16_t port, int backlog,
-                 uint16_t* bound_port, std::string* error) {
+                 bool reuseport, uint16_t* bound_port, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -119,6 +156,20 @@ int OpenListener(const std::string& address, uint16_t port, int backlog,
   }
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      *error = std::string("setsockopt(SO_REUSEPORT): ") +
+               std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+#else
+    *error = "SO_REUSEPORT unavailable on this platform";
+    ::close(fd);
+    return -1;
+#endif
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -163,63 +214,144 @@ bool MembershipServer::Start() {
   }
   started_ = true;
 
-  listen_fd_ = OpenListener(options_.bind_address, options_.port,
-                            options_.backlog, &port_, &error_);
-  if (listen_fd_ < 0) return false;
+  const uint32_t num_loops = static_cast<uint32_t>(loop_traffic_.size());
+  loops_.reserve(num_loops);
+  for (uint32_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loops_.push_back(std::move(loop));
+  }
+
+  // Listeners.  Multi-loop prefers one SO_REUSEPORT socket per loop so the
+  // kernel balances accepts with zero shared state; any reuseport failure
+  // degrades the whole server to one shared listener accepted under a
+  // mutex.  A single loop always binds a plain listener — SO_REUSEPORT on
+  // it would let a second server bind the same port silently, and tests
+  // (and operators) rely on that clash reporting EADDRINUSE.
+  reuseport_active_ = false;
+  if (num_loops > 1 && options_.use_reuseport) {
+    const int first = OpenListener(options_.bind_address, options_.port,
+                                   options_.backlog, /*reuseport=*/true,
+                                   &port_, &error_);
+    if (first >= 0) {
+      loops_[0]->listen_fd = first;
+      loops_[0]->owns_listen_fd = true;
+      reuseport_active_ = true;
+      for (uint32_t i = 1; i < num_loops && reuseport_active_; ++i) {
+        uint16_t bound = 0;
+        const int sibling =
+            OpenListener(options_.bind_address, port_, options_.backlog,
+                         /*reuseport=*/true, &bound, &error_);
+        if (sibling < 0) {
+          // Surprising (the first reuseport bind worked) but recoverable:
+          // release every sibling and take the shared-accept path.
+          for (uint32_t j = 0; j < i; ++j) {
+            ::close(loops_[j]->listen_fd);
+            loops_[j]->listen_fd = -1;
+            loops_[j]->owns_listen_fd = false;
+          }
+          reuseport_active_ = false;
+        } else {
+          loops_[i]->listen_fd = sibling;
+          loops_[i]->owns_listen_fd = true;
+        }
+      }
+    }
+  }
+  if (!reuseport_active_) {
+    const int fd = OpenListener(options_.bind_address, options_.port,
+                                options_.backlog, /*reuseport=*/false, &port_,
+                                &error_);
+    if (fd < 0) return false;
+    for (auto& loop : loops_) loop->listen_fd = fd;
+    loops_[0]->owns_listen_fd = true;  // exactly one close in Stop()
+  }
+  error_.clear();
+
   if (options_.enable_http) {
-    http_listen_fd_ = OpenListener(options_.bind_address, options_.http_port,
-                                   options_.backlog, &http_port_, &error_);
-    if (http_listen_fd_ < 0) return false;
+    loops_[0]->http_listen_fd =
+        OpenListener(options_.bind_address, options_.http_port,
+                     options_.backlog, /*reuseport=*/false, &http_port_,
+                     &error_);
+    if (loops_[0]->http_listen_fd < 0) return false;  // Stop() cleans up
   }
 
-  int wake[2];
-  if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) {
-    error_ = std::string("pipe2: ") + std::strerror(errno);
-    return false;
-  }
-  wake_read_fd_ = wake[0];
-  wake_write_fd_ = wake[1];
-
-  poller_ = Poller::Create(options_.use_epoll);
-  if (poller_ == nullptr || !poller_->Add(listen_fd_, false) ||
-      !poller_->Add(wake_read_fd_, false) ||
-      (http_listen_fd_ >= 0 && !poller_->Add(http_listen_fd_, false))) {
-    error_ = "poller setup failed";
-    return false;
+  for (auto& loop : loops_) {
+    int wake[2];
+    if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) {
+      error_ = std::string("pipe2: ") + std::strerror(errno);
+      return false;
+    }
+    loop->wake_read_fd = wake[0];
+    loop->wake_write_fd = wake[1];
+    loop->poller = Poller::Create(options_.use_epoll);
+    if (loop->poller == nullptr || !loop->poller->Add(loop->listen_fd, false) ||
+        !loop->poller->Add(loop->wake_read_fd, false) ||
+        (loop->http_listen_fd >= 0 &&
+         !loop->poller->Add(loop->http_listen_fd, false))) {
+      error_ = "poller setup failed";
+      return false;
+    }
   }
 
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this]() { Loop(); });
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, l = loop.get()]() { LoopRun(*l); });
+  }
   return true;
 }
 
 void MembershipServer::Stop() {
   if (!started_) return;
-  if (loop_thread_.joinable()) {
-    stop_requested_.store(true, std::memory_order_release);
-    const char byte = 1;
-    // The loop may have exited already; a failed wake write is fine.
-    (void)!::write(wake_write_fd_, &byte, 1);
-    loop_thread_.join();
+  stop_requested_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    if (loop->wake_write_fd >= 0) {
+      const char byte = 1;
+      // The loop may have exited already; a failed wake write is fine.
+      (void)!::write(loop->wake_write_fd, &byte, 1);
+    }
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
   }
   running_.store(false, std::memory_order_release);
-  for (auto& [fd, conn] : connections_) {
-    (void)conn;
-    ::close(fd);
+  // No loop thread is alive, but offloaded batches may still be executing
+  // on FilterService workers, and their completion callbacks touch the
+  // per-loop queues and wakeup pipes.  Drain the pool so no callback can
+  // outlive the fds closed below (the completions themselves are dropped —
+  // their connections are going away with the server).
+  if (service_ != nullptr) service_->Drain();
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(loop->completions_mutex);
+      loop->completions.clear();
+    }
+    for (auto& [fd, conn] : loop->connections) {
+      (void)conn;
+      ::close(fd);
+    }
+    active_conns_gauge_->Add(-static_cast<int64_t>(loop->connections.size()));
+    open_connections_.fetch_sub(loop->connections.size(),
+                                std::memory_order_relaxed);
+    loop->connections.clear();
+    loop->fd_by_conn_id.clear();
+    if (loop->owns_listen_fd && loop->listen_fd >= 0) ::close(loop->listen_fd);
+    loop->listen_fd = -1;
+    loop->owns_listen_fd = false;
+    for (int* fd :
+         {&loop->http_listen_fd, &loop->wake_read_fd, &loop->wake_write_fd}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+    loop->poller.reset();
   }
-  active_conns_gauge_->Add(-static_cast<int64_t>(connections_.size()));
-  connections_.clear();
-  for (int* fd :
-       {&listen_fd_, &http_listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
-    if (*fd >= 0) ::close(*fd);
-    *fd = -1;
-  }
-  poller_.reset();
 }
 
 const char* MembershipServer::poller_name() const {
-  return poller_ != nullptr ? poller_->name() : "none";
+  return !loops_.empty() && loops_[0]->poller != nullptr
+             ? loops_[0]->poller->name()
+             : "none";
 }
 
 ServerStats MembershipServer::stats() const {
@@ -237,49 +369,87 @@ ServerStats MembershipServer::stats() const {
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   s.http_requests = http_requests_.load(std::memory_order_relaxed);
+  s.batches_offloaded = batches_offloaded_.load(std::memory_order_relaxed);
+  s.responses_reordered =
+      responses_reordered_.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
   return s;
 }
 
-void MembershipServer::Loop() {
+void MembershipServer::LoopRun(Loop& loop) {
   std::vector<PollEvent> events;
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    if (!poller_->Wait(/*timeout_ms=*/500, &events)) break;
+    if (!loop.poller->Wait(/*timeout_ms=*/500, &events)) break;
     for (const PollEvent& event : events) {
-      if (event.fd == wake_read_fd_) {
+      if (event.fd == loop.wake_read_fd) {
         char drain[64];
-        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+        while (::read(loop.wake_read_fd, drain, sizeof(drain)) > 0) {
         }
+        DrainCompletions(loop);
         continue;
       }
-      if (event.fd == listen_fd_) {
-        AcceptAll(listen_fd_, /*is_http=*/false);
+      if (event.fd == loop.listen_fd) {
+        AcceptAll(loop, loop.listen_fd, /*is_http=*/false);
         continue;
       }
-      if (http_listen_fd_ >= 0 && event.fd == http_listen_fd_) {
-        AcceptAll(http_listen_fd_, /*is_http=*/true);
+      if (loop.http_listen_fd >= 0 && event.fd == loop.http_listen_fd) {
+        AcceptAll(loop, loop.http_listen_fd, /*is_http=*/true);
         continue;
       }
-      auto it = connections_.find(event.fd);
-      if (it == connections_.end()) continue;  // closed earlier this round
+      auto it = loop.connections.find(event.fd);
+      if (it == loop.connections.end()) continue;  // closed earlier this round
       Connection& conn = it->second;
       bool alive = !event.error;
       if (alive && event.readable) {
-        alive = conn.is_http ? ServeHttpConnection(conn) : ServeConnection(conn);
+        alive = conn.is_http ? ServeHttpConnection(loop, conn)
+                             : ServeConnection(loop, conn);
       }
-      if (alive && event.writable) alive = FlushOutbox(conn);
+      if (alive && event.writable) alive = FlushOutbox(loop, conn);
       if (!alive) {
         // A clean shutdown (EOF after everything was served) is not a drop.
-        CloseConnection(event.fd, /*dropped=*/event.error || conn.dropped);
+        CloseConnection(loop, event.fd,
+                        /*dropped=*/event.error || conn.dropped);
       }
     }
   }
-  running_.store(false, std::memory_order_release);
+  // Shutdown grace: batches already offloaded get a bounded window to
+  // complete and reach their sockets, so Stop() does not abandon responses
+  // workers have (or are about to have) computed.  Anything still in
+  // flight past the deadline is dropped by Stop() after the pool drains.
+  // steady_clock directly (not obs::NowNanos) — the deadline must work
+  // with observability compiled out.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    DrainCompletions(loop);
+    bool inflight = false;
+    for (const auto& [fd, conn] : loop.connections) {
+      (void)fd;
+      if (conn.inflight > 0) {
+        inflight = true;
+        break;
+      }
+    }
+    if (!inflight || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
-void MembershipServer::AcceptAll(int listen_fd, bool is_http) {
+void MembershipServer::AcceptAll(Loop& loop, int listen_fd, bool is_http) {
+  // Shared-accept fallback: every loop polls the same listening socket, so
+  // accepts serialize on a mutex (accept4 itself is thread-safe; the mutex
+  // keeps the accept burst on one loop instead of splitting a level-
+  // triggered wakeup into N racing slow paths).
+  const bool shared = !loop.owns_listen_fd && loops_.size() > 1 && !is_http;
   for (;;) {
-    const int fd = ::accept4(listen_fd, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(accept_mutex_, std::defer_lock);
+      if (shared) lock.lock();
+      fd = ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    }
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -292,50 +462,62 @@ void MembershipServer::AcceptAll(int listen_fd, bool is_http) {
       }
       return;  // wait for the next poller wakeup
     }
-    if (connections_.size() >= options_.max_connections) {
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
       ::close(fd);
       connections_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     SetNoDelay(fd);
-    if (!poller_->Add(fd, false)) {
+    if (!loop.poller->Add(fd, false)) {
       ::close(fd);
       continue;
     }
     Connection conn;
     conn.fd = fd;
+    conn.id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     conn.is_http = is_http;
-    connections_.emplace(fd, std::move(conn));
+    loop.fd_by_conn_id.emplace(conn.id, fd);
+    loop.connections.emplace(fd, std::move(conn));
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    loop_traffic_[loop.index]->accepted.fetch_add(1,
+                                                  std::memory_order_relaxed);
     active_conns_gauge_->Add(1);
   }
 }
 
-bool MembershipServer::ServeConnection(Connection& conn) {
+bool MembershipServer::ServeConnection(Loop& loop, Connection& conn) {
   // Drain the socket (level-triggered pollers re-arm if the 64 KiB scratch
   // fills more than once per wakeup), but never buffer more undecoded input
   // than max_read_buffer: a flooding client neither grows server memory
-  // without bound nor monopolizes the loop past one capped pass.
+  // without bound nor monopolizes the loop past one capped pass.  Re-entry
+  // from DrainCompletions after the peer already half-closed skips straight
+  // to the decoder — there is nothing left to read.
   const size_t read_cap =
       std::max<size_t>(options_.max_read_buffer,
                        kMaxPayload + kFrameHeaderBytes);
-  uint8_t scratch[65536];
+  const uint32_t inflight_cap = std::max(1u, options_.max_inflight_batches);
   bool peer_closed = false;
-  while (conn.decoder.buffered() < read_cap) {
-    const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), 0);
-    if (n > 0) {
-      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-      conn.decoder.Feed(scratch, static_cast<size_t>(n));
-      continue;
+  if (!conn.peer_closed) {
+    uint8_t scratch[65536];
+    while (conn.decoder.buffered() < read_cap) {
+      const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), 0);
+      if (n > 0) {
+        bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+        conn.decoder.Feed(scratch, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.dropped = true;  // hard socket error
+      return false;
     }
-    if (n == 0) {
-      peer_closed = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    conn.dropped = true;  // hard socket error
-    return false;
   }
 
   // Decode every complete frame buffered so far.  Runs of consecutive
@@ -346,6 +528,18 @@ bool MembershipServer::ServeConnection(Connection& conn) {
   std::vector<std::pair<uint64_t, uint32_t>> pending_queries;
   Frame frame;
   for (;;) {
+    if (offload_enabled_ && conn.inflight >= inflight_cap) {
+      // Backpressure: the connection is at its offload cap.  Stop decoding
+      // (complete frames stay buffered in the decoder, unread bytes stay in
+      // the kernel buffer → TCP pushback) and drop read interest until
+      // completions bring the count back under the cap, when
+      // DrainCompletions re-serves the connection.
+      if (!conn.read_parked) {
+        conn.read_parked = true;
+        backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
     const DecodeStatus status = conn.decoder.Next(&frame);
     if (status == DecodeStatus::kNeedMore) break;
     if (status != DecodeStatus::kFrame) {
@@ -354,17 +548,18 @@ bool MembershipServer::ServeConnection(Connection& conn) {
       return false;
     }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
-    HandleFrame(conn, frame, &pending_keys, &pending_queries);
+    loop_traffic_[loop.index]->frames.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(loop, conn, frame, &pending_keys, &pending_queries);
   }
-  FlushQueries(conn, &pending_keys, &pending_queries);
+  FlushQueries(loop, conn, &pending_keys, &pending_queries);
   if (peer_closed) conn.peer_closed = true;
   // FlushOutbox owns the whole close-on-EOF rule: it returns false once a
-  // half-closed connection's outbox drains, and until then parks it
-  // write-interest-only so the level-triggered EOF cannot spin the loop.
-  return FlushOutbox(conn);
+  // half-closed connection drains its outbox AND its in-flight batches, and
+  // until then keeps only the interest the connection needs.
+  return FlushOutbox(loop, conn);
 }
 
-bool MembershipServer::ServeHttpConnection(Connection& conn) {
+bool MembershipServer::ServeHttpConnection(Loop& loop, Connection& conn) {
   // Minimal HTTP/1.x service, just enough for scrapes: buffer until the
   // request head is complete, answer exactly one request, then close after
   // the response drains (the same peer_closed/FlushOutbox path wire
@@ -389,7 +584,7 @@ bool MembershipServer::ServeHttpConnection(Connection& conn) {
     conn.dropped = true;
     return false;
   }
-  if (!conn.outbox.empty()) return FlushOutbox(conn);  // already answered
+  if (!conn.outbox.empty()) return FlushOutbox(loop, conn);  // answered
   const std::string_view head(reinterpret_cast<const char*>(
                                   conn.http_in.data()),
                               conn.http_in.size());
@@ -441,14 +636,15 @@ bool MembershipServer::ServeHttpConnection(Connection& conn) {
   // One request per connection: drain the response, then close (FlushOutbox
   // returns false once a peer_closed connection's outbox empties).
   conn.peer_closed = true;
-  return FlushOutbox(conn);
+  return FlushOutbox(loop, conn);
 }
 
 void MembershipServer::HandleFrame(
-    Connection& conn, Frame& frame, std::vector<uint64_t>* pending_keys,
+    Loop& loop, Connection& conn, Frame& frame,
+    std::vector<uint64_t>* pending_keys,
     std::vector<std::pair<uint64_t, uint32_t>>* pending_queries) {
   if (frame.is_response() || !IsKnownOpcode(frame.opcode)) {
-    FlushQueries(conn, pending_keys, pending_queries);
+    FlushQueries(loop, conn, pending_keys, pending_queries);
     EncodeErrorResponse(static_cast<Opcode>(frame.opcode), frame.request_id,
                         ErrorCode::kUnsupported,
                         frame.is_response() ? "unexpected response flag"
@@ -465,7 +661,7 @@ void MembershipServer::HandleFrame(
     const size_t before = pending_keys->size();
     if (!AppendKeyBatchPayload(frame.payload.data(), frame.payload.size(),
                                pending_keys)) {
-      FlushQueries(conn, pending_keys, pending_queries);
+      FlushQueries(loop, conn, pending_keys, pending_queries);
       EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
                           "malformed key batch", &conn.outbox);
       frames_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -479,9 +675,12 @@ void MembershipServer::HandleFrame(
     return;
   }
 
-  // Every other opcode is a pipeline barrier: responses must come back in
-  // request order, so the accumulated queries execute first.
-  FlushQueries(conn, pending_keys, pending_queries);
+  // Every other opcode still flushes the accumulated queries first so a
+  // merged batch never straddles it; with offload enabled the flush only
+  // SUBMITS the batch, so this barrier response can reach the wire before
+  // the query responses do — clients correlate by request id (see
+  // protocol.h).
+  FlushQueries(loop, conn, pending_keys, pending_queries);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   switch (opcode) {
     case Opcode::kInsertBatch: {
@@ -496,6 +695,8 @@ void MembershipServer::HandleFrame(
       const uint64_t failures =
           service_->InsertBatchSync(keys.data(), keys.size());
       inserts_served_.fetch_add(keys.size(), std::memory_order_relaxed);
+      loop_traffic_[loop.index]->keys.fetch_add(keys.size(),
+                                                std::memory_order_relaxed);
       EncodeInsertResponse(frame.request_id, failures, &conn.outbox);
       return;
     }
@@ -538,17 +739,56 @@ void MembershipServer::HandleFrame(
 }
 
 void MembershipServer::FlushQueries(
-    Connection& conn, std::vector<uint64_t>* pending_keys,
+    Loop& loop, Connection& conn, std::vector<uint64_t>* pending_keys,
     std::vector<std::pair<uint64_t, uint32_t>>* pending) {
   if (pending->empty()) return;
-  // One latency sample per merged batch: the whole decode-to-encode window
-  // every frame in the pipeline run shares.
-  obs::ScopedLatency timer(query_request_hist_);
   merge_frames_hist_->Record(pending->size());
+  queries_served_.fetch_add(pending_keys->size(), std::memory_order_relaxed);
+  loop_traffic_[loop.index]->keys.fetch_add(pending_keys->size(),
+                                            std::memory_order_relaxed);
+
+  if (offload_enabled_) {
+    // Decode/filter decoupling: hand the merged batch to the FilterService
+    // worker pool and keep the loop decoding.  The completion callback runs
+    // on the worker thread — it only queues the result and tickles the
+    // loop's wakeup pipe; all connection state stays loop-thread-only.
+    batches_offloaded_.fetch_add(1, std::memory_order_relaxed);
+    conn.inflight += 1;
+    Completion comp;
+    comp.conn_id = conn.id;
+    comp.seq = conn.next_seq++;
+    conn.inflight_seqs.push_back(comp.seq);
+    comp.requests = std::move(*pending);
+    comp.submit_ns = obs::NowNanos();
+    Loop* owner = &loop;  // stable: loops_ holds unique_ptrs for our life
+    const int wake_fd = loop.wake_write_fd;
+    service_->QueryBatchAsync(
+        std::move(*pending_keys),
+        [owner, wake_fd,
+         comp = std::move(comp)](std::vector<uint8_t> results) mutable {
+          comp.results = std::move(results);
+          {
+            std::lock_guard<std::mutex> lock(owner->completions_mutex);
+            owner->completions.push_back(std::move(comp));
+          }
+          const char byte = 1;
+          // Full pipe (bounded by the inflight caps) or racing shutdown:
+          // either way the loop will drain completions on its next wake.
+          (void)!::write(wake_fd, &byte, 1);
+        });
+    pending_keys->clear();
+    pending->clear();
+    return;
+  }
+
+  // Synchronous path (no worker pool): execute on the loop thread and emit
+  // one response per original frame, in request order.  One latency sample
+  // per merged batch: the whole decode-to-encode window every frame in the
+  // pipeline run shares.
+  obs::ScopedLatency timer(query_request_hist_);
   std::vector<uint8_t> results(pending_keys->size());
   service_->QueryBatchSync(pending_keys->data(), pending_keys->size(),
                            results.data());
-  queries_served_.fetch_add(pending_keys->size(), std::memory_order_relaxed);
   frames_sent_.fetch_add(pending->size(), std::memory_order_relaxed);
   size_t offset = 0;
   for (const auto& [request_id, count] : *pending) {
@@ -560,7 +800,58 @@ void MembershipServer::FlushQueries(
   pending->clear();
 }
 
-bool MembershipServer::FlushOutbox(Connection& conn) {
+void MembershipServer::DrainCompletions(Loop& loop) {
+  std::vector<Completion> completions;
+  {
+    std::lock_guard<std::mutex> lock(loop.completions_mutex);
+    completions.swap(loop.completions);
+  }
+  for (Completion& comp : completions) {
+    const auto id_it = loop.fd_by_conn_id.find(comp.conn_id);
+    if (id_it == loop.fd_by_conn_id.end()) continue;  // closed mid-flight
+    const int fd = id_it->second;
+    const auto conn_it = loop.connections.find(fd);
+    if (conn_it == loop.connections.end()) continue;
+    Connection& conn = conn_it->second;
+
+    // Completing anything but the oldest in-flight batch means this
+    // response overtakes an earlier one on the wire — the reordering
+    // clients reassemble by request id.
+    if (!conn.inflight_seqs.empty() && conn.inflight_seqs.front() != comp.seq) {
+      responses_reordered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto seq_it = std::find(conn.inflight_seqs.begin(),
+                                  conn.inflight_seqs.end(), comp.seq);
+    if (seq_it != conn.inflight_seqs.end()) conn.inflight_seqs.erase(seq_it);
+    if (conn.inflight > 0) --conn.inflight;
+
+    if (comp.submit_ns != 0) {
+      query_request_hist_->Record(obs::NowNanos() - comp.submit_ns);
+    }
+    size_t offset = 0;
+    for (const auto& [request_id, count] : comp.requests) {
+      EncodeQueryResponse(request_id, comp.results.data() + offset, count,
+                          &conn.outbox);
+      offset += count;
+    }
+    frames_sent_.fetch_add(comp.requests.size(), std::memory_order_relaxed);
+
+    bool alive;
+    if (conn.read_parked &&
+        conn.inflight < std::max(1u, options_.max_inflight_batches)) {
+      // Unpark: frames may already sit decoded-but-unserved in the decoder
+      // and bytes in the kernel buffer — a full re-serve picks both up and
+      // restores read interest via FlushOutbox.
+      conn.read_parked = false;
+      alive = ServeConnection(loop, conn);
+    } else {
+      alive = FlushOutbox(loop, conn);
+    }
+    if (!alive) CloseConnection(loop, fd, conn.dropped);
+  }
+}
+
+bool MembershipServer::FlushOutbox(Loop& loop, Connection& conn) {
   while (conn.outbox_sent < conn.outbox.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
@@ -592,21 +883,29 @@ bool MembershipServer::FlushOutbox(Connection& conn) {
     return false;
   }
   const bool want_write = conn.outbox_sent < conn.outbox.size();
-  // A half-closed peer has nothing more to say: once its outbox drains the
-  // connection is done, and until then only write readiness matters.
-  if (conn.peer_closed && !want_write) return false;
-  const bool want_read = !conn.peer_closed;
-  if (want_write != conn.want_write || conn.peer_closed) {
+  // A half-closed peer has nothing more to say: once the outbox drains AND
+  // every offloaded batch has answered, the connection is done; until then
+  // it keeps only the interest it needs (a level-triggered EOF with read
+  // interest would spin the loop).
+  if (conn.peer_closed && !HasPendingWork(conn)) return false;
+  const bool want_read = !conn.peer_closed && !conn.read_parked;
+  if (want_write != conn.want_write || want_read != conn.want_read) {
     conn.want_write = want_write;
-    poller_->Update(conn.fd, want_read, want_write);
+    conn.want_read = want_read;
+    loop.poller->Update(conn.fd, want_read, want_write);
   }
   return true;
 }
 
-void MembershipServer::CloseConnection(int fd, bool dropped) {
-  poller_->Remove(fd);
+void MembershipServer::CloseConnection(Loop& loop, int fd, bool dropped) {
+  const auto it = loop.connections.find(fd);
+  if (it != loop.connections.end()) {
+    loop.fd_by_conn_id.erase(it->second.id);
+    loop.connections.erase(it);
+  }
+  loop.poller->Remove(fd);
   ::close(fd);
-  connections_.erase(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
   active_conns_gauge_->Add(-1);
   if (dropped) connections_dropped_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -1,30 +1,49 @@
 // Networked membership service: a TCP front-end over FilterService.
 //
-// A single event-loop thread drives non-blocking sockets through a Poller
-// (epoll on Linux, poll(2) fallback), speaking the length-prefixed binary
-// protocol of src/net/protocol.h.  The loop is deliberately batch-first: all
-// complete frames buffered on a connection are decoded in one pass, and runs
-// of consecutive QUERY_BATCH frames are merged into ONE key batch handed to
-// FilterService::QueryBatchSync — so a pipelining client's traffic reaches
-// BatchRouter as large cross-shard batches and keeps the counting-sort
-// shard-grouping win (§7 batch orientation) intact across the network hop.
-// Responses are emitted per request frame, in request order, with each
-// frame's request_id echoed.
+// Scale-out is two layers deep (ROADMAP item 1):
 //
-// Filter work executes on the event-loop thread via the service's sync entry
-// points; the FilterService worker pool (if any) keeps serving in-process
-// batch traffic concurrently — shard locks and the snapshot shared-lock
-// arbitrate.
+// Loop-per-core: ServerOptions::num_loops spawns N independent event-loop
+// threads, each with its own Poller (epoll on Linux, poll(2) fallback) and —
+// where SO_REUSEPORT is available — its own listening socket bound to the
+// same address, so the kernel balances incoming connections across loops
+// with no shared accept state.  Where SO_REUSEPORT is unavailable (or
+// disabled via ServerOptions::use_reuseport), every loop polls one shared
+// listening socket and accepts under a shared mutex.  A connection is owned
+// by exactly one loop for its whole life; per-loop traffic counters surface
+// in the metrics registry labeled loop=<i> so /metrics shows the balance.
+//
+// Decode/filter decoupling: each loop is batch-first — all complete frames
+// buffered on a connection are decoded in one pass, and runs of consecutive
+// QUERY_BATCH frames are merged into ONE key batch, so a pipelining client's
+// traffic reaches BatchRouter as large cross-shard batches and keeps the
+// counting-sort shard-grouping win (§7 batch orientation) intact across the
+// network hop.  When the FilterService has worker threads (and
+// ServerOptions::offload_queries), merged batches are handed to the pool via
+// QueryBatchAsync instead of executing inline on the loop thread: the loop
+// keeps decoding while workers filter, completions come back through a
+// per-loop queue plus a wakeup fd, and responses are emitted in COMPLETION
+// order with each frame's request_id echoed — concurrent batches from one
+// connection may answer out of order, and clients reassemble by request id
+// (MembershipClient::QueryPipelined does).  A per-connection cap on
+// offloaded batches in flight (ServerOptions::max_inflight_batches) parks
+// the connection's read interest when reached, so one firehose client gets
+// TCP backpressure instead of unbounded server memory.  Without workers the
+// loop serves batches synchronously via QueryBatchSync, responses in request
+// order, exactly as before.
 //
 // Lifecycle: Start() binds/listens (port 0 = kernel-assigned, see port()),
-// spawns the loop thread; Stop() wakes the loop through a self-pipe and
-// joins.  The destructor stops the server.
+// spawns the loop threads; Stop() wakes every loop through its wakeup pipe,
+// joins them (each loop grants in-flight offloaded batches a short grace
+// window to complete and flush), drains the worker pool so no completion
+// callback can outlive the server, and closes every fd.  The destructor
+// stops the server.
 #ifndef PREFIXFILTER_SRC_NET_MEMBERSHIP_SERVER_H_
 #define PREFIXFILTER_SRC_NET_MEMBERSHIP_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,10 +63,29 @@ struct ServerOptions {
   // 0 = kernel-assigned ephemeral port, reported by port().
   uint16_t port = 0;
   int backlog = 128;
-  // Connections beyond this are accepted and immediately closed.
-  size_t max_connections = 1024;
-  // false forces the portable poll(2) event loop even where epoll exists.
+  // false forces the portable poll(2) Poller even where epoll exists (each
+  // loop creates its own Poller either way).
   bool use_epoll = true;
+  // Event-loop threads.  Each loop owns a Poller and a slice of the
+  // connections; >1 binds one SO_REUSEPORT listener per loop (kernel-
+  // balanced accept) where available, else falls back to shared-mutex
+  // accept on one socket.  Clamped to >= 1.
+  uint32_t num_loops = 1;
+  // false forces the shared-accept fallback even where SO_REUSEPORT exists
+  // (tests exercise the fallback deterministically).  Irrelevant when
+  // num_loops == 1, which always uses a single plain listener.
+  bool use_reuseport = true;
+  // Offload merged QUERY_BATCH batches to the FilterService worker pool
+  // (see file header).  Only effective when the service has worker threads;
+  // a synchronous service always serves inline on the loop thread.
+  bool offload_queries = true;
+  // Offloaded batches a single connection may have in flight before the
+  // loop stops reading from it (resumes as completions drain).  Clamped to
+  // >= 1.  Bounds per-connection server memory and queue share.
+  uint32_t max_inflight_batches = 32;
+  // Connections beyond this are accepted and immediately closed (counted
+  // across all loops).
+  size_t max_connections = 1024;
   // A connection whose outbound buffer exceeds this is dropped (a client
   // that stops reading must not grow server memory without bound).
   size_t max_write_buffer = 256u << 20;
@@ -58,8 +96,8 @@ struct ServerOptions {
   // Clamped up to one max-size frame so a legal frame always fits.
   size_t max_read_buffer = kMaxPayload + kFrameHeaderBytes;
   // Serve a plaintext HTTP listener (GET /metrics -> Prometheus text
-  // exposition of the metrics registry) on the same event loop.  0 =
-  // kernel-assigned port, reported by http_port().
+  // exposition of the metrics registry) on loop 0.  0 = kernel-assigned
+  // port, reported by http_port().
   bool enable_http = false;
   uint16_t http_port = 0;
   // Registry the server instruments into and the one /metrics + STATS v2
@@ -68,7 +106,8 @@ struct ServerOptions {
   obs::MetricsRegistry* registry = nullptr;
 };
 
-// Event-loop counters, readable concurrently with the running server.
+// Server-wide counters, readable concurrently with the running server
+// (aggregated across loops).
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_dropped = 0;  // protocol errors / overflow / rejects
@@ -78,9 +117,16 @@ struct ServerStats {
   uint64_t inserts_served = 0;       // keys
   uint64_t queries_served = 0;       // keys
   uint64_t query_frames_merged = 0;  // extra frames coalesced into a batch
-  uint64_t bytes_in = 0;             // raw socket bytes (both listeners)
+  uint64_t bytes_in = 0;             // raw socket bytes (all listeners)
   uint64_t bytes_out = 0;
   uint64_t http_requests = 0;        // HTTP requests answered (any status)
+  uint64_t batches_offloaded = 0;    // merged batches handed to the pool
+  // Completions that arrived ahead of an older batch still in flight on the
+  // same connection — the out-of-order path clients must reassemble.
+  uint64_t responses_reordered = 0;
+  // Times a connection hit max_inflight_batches and had its read interest
+  // parked until completions drained.
+  uint64_t backpressure_stalls = 0;
 };
 
 class MembershipServer {
@@ -92,10 +138,11 @@ class MembershipServer {
   MembershipServer(const MembershipServer&) = delete;
   MembershipServer& operator=(const MembershipServer&) = delete;
 
-  // Binds, listens, and spawns the event loop.  False on socket errors (see
+  // Binds, listens, and spawns the event loops.  False on socket errors (see
   // error()); calling Start() twice is an error.
   bool Start();
-  // Idempotent; joins the loop thread and closes every connection.
+  // Idempotent; joins every loop thread, drains in-flight worker-pool
+  // batches, and closes every fd the server owns.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -106,64 +153,133 @@ class MembershipServer {
   const std::string& error() const { return error_; }
   // "epoll" or "poll", valid after Start().
   const char* poller_name() const;
+  // Loops actually running (options.num_loops clamped), valid after Start().
+  uint32_t num_loops() const { return static_cast<uint32_t>(loops_.size()); }
+  // True when every loop owns its own SO_REUSEPORT listener; false on the
+  // shared-accept fallback (always false for a single loop).
+  bool reuseport_active() const { return reuseport_active_; }
 
   ServerStats stats() const;
 
  private:
   struct Connection {
     int fd = -1;
+    // Server-wide unique id: completions name connections by id, never by
+    // fd, so a completion for a closed connection cannot hit an unrelated
+    // connection that recycled the fd.
+    uint64_t id = 0;
     FrameDecoder decoder;
     std::vector<uint8_t> outbox;  // encoded responses not yet written
     size_t outbox_sent = 0;
+    // Poller interest currently registered (Update is only issued when the
+    // desired interest diverges from these).
+    bool want_read = true;
     bool want_write = false;
     // Set when the connection dies for a reason the server holds against it
     // (protocol error, socket error, write-buffer overflow) as opposed to a
     // clean client shutdown; feeds connections_dropped.
     bool dropped = false;
-    // Peer sent EOF; the connection only survives to drain its outbox
-    // (write-interest only — a level-triggered EOF must not spin the loop).
+    // Peer sent EOF; the connection only survives to drain its outbox and
+    // in-flight offloaded batches (write-interest only — a level-triggered
+    // EOF must not spin the loop).
     bool peer_closed = false;
+    // Offloaded batches not yet completed, and the backpressure park flag
+    // (read interest dropped until completions bring inflight under cap).
+    uint32_t inflight = 0;
+    bool read_parked = false;
+    // Per-connection submit sequence numbers of in-flight batches, oldest
+    // first: completing anything but the front is a reordered response.
+    uint64_t next_seq = 0;
+    std::vector<uint64_t> inflight_seqs;
     // Accepted on the HTTP listener: the byte stream is HTTP/1.x, served by
     // ServeHttpConnection, one request per connection (Connection: close).
     bool is_http = false;
     std::vector<uint8_t> http_in;  // unparsed HTTP request bytes
   };
 
-  void Loop();
-  void AcceptAll(int listen_fd, bool is_http);
+  // A merged query batch completed by the worker pool, queued back to the
+  // owning loop (see FlushQueries / DrainCompletions).
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    // (request_id, key count) per original frame, in merge order.
+    std::vector<std::pair<uint64_t, uint32_t>> requests;
+    std::vector<uint8_t> results;
+    uint64_t submit_ns = 0;
+  };
+
+  // Everything one event-loop thread owns.  Only that thread touches the
+  // poller and connection maps; `completions` is the single cross-thread
+  // handoff point (mutex + wakeup pipe).
+  struct Loop {
+    uint32_t index = 0;
+    std::unique_ptr<Poller> poller;
+    std::unordered_map<int, Connection> connections;
+    std::unordered_map<uint64_t, int> fd_by_conn_id;
+    int listen_fd = -1;
+    bool owns_listen_fd = false;  // reuseport: own socket; fallback: shared
+    int http_listen_fd = -1;      // loop 0 only
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    std::thread thread;
+    std::mutex completions_mutex;
+    std::vector<Completion> completions;
+  };
+
+  // Per-loop traffic counters behind the loop=<i> metric labels.  Fixed at
+  // construction so the scrape-time collector never races loop setup.
+  struct LoopTraffic {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> keys{0};
+  };
+
+  void LoopRun(Loop& loop);
+  void AcceptAll(Loop& loop, int listen_fd, bool is_http);
   // Reads, decodes, and serves everything buffered on `conn`.  Returns false
   // when the connection must be closed.
-  bool ServeConnection(Connection& conn);
+  bool ServeConnection(Loop& loop, Connection& conn);
   // HTTP counterpart: reads until a full request head, answers GET /metrics
   // with the Prometheus rendering of the registry, and closes after the
   // response drains (via the peer_closed/FlushOutbox path).
-  bool ServeHttpConnection(Connection& conn);
-  void HandleFrame(Connection& conn, Frame& frame,
+  bool ServeHttpConnection(Loop& loop, Connection& conn);
+  void HandleFrame(Loop& loop, Connection& conn, Frame& frame,
                    std::vector<uint64_t>* pending_keys,
                    std::vector<std::pair<uint64_t, uint32_t>>* pending_queries);
-  // Runs the accumulated pipelined query keys as one merged batch and emits
-  // one response frame per original request.
-  void FlushQueries(Connection& conn, std::vector<uint64_t>* pending_keys,
+  // Runs the accumulated pipelined query keys as one merged batch: offloads
+  // to the worker pool when configured (responses emitted on completion),
+  // else executes inline and emits one response frame per original request.
+  void FlushQueries(Loop& loop, Connection& conn,
+                    std::vector<uint64_t>* pending_keys,
                     std::vector<std::pair<uint64_t, uint32_t>>* pending);
+  // Emits responses for every queued completion on this loop; unparks and
+  // re-serves connections that were capped.
+  void DrainCompletions(Loop& loop);
   // Attempts a non-blocking drain of conn.outbox; updates poller interest.
-  bool FlushOutbox(Connection& conn);
-  void CloseConnection(int fd, bool dropped);
+  bool FlushOutbox(Loop& loop, Connection& conn);
+  void CloseConnection(Loop& loop, int fd, bool dropped);
+  // True while `conn` must survive: outbox bytes unsent or batches in
+  // flight.
+  static bool HasPendingWork(const Connection& conn) {
+    return conn.outbox_sent < conn.outbox.size() || conn.inflight > 0;
+  }
 
   std::shared_ptr<FilterService> service_;
   ServerOptions options_;
-  std::unique_ptr<Poller> poller_;
-  std::unordered_map<int, Connection> connections_;
-  int listen_fd_ = -1;
-  int http_listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
+  bool offload_enabled_ = false;  // resolved in Start()
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::unique_ptr<LoopTraffic>> loop_traffic_;
+  bool reuseport_active_ = false;
+  std::mutex accept_mutex_;  // shared-accept fallback only
   uint16_t port_ = 0;
   uint16_t http_port_ = 0;
   std::string error_;
-  std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
+  std::atomic<uint64_t> next_conn_id_{1};
+  // Across all loops; checked against options.max_connections on accept.
+  std::atomic<size_t> open_connections_{0};
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_dropped_{0};
@@ -176,9 +292,12 @@ class MembershipServer {
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> http_requests_{0};
+  std::atomic<uint64_t> batches_offloaded_{0};
+  std::atomic<uint64_t> responses_reordered_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
 
   // Observability: histograms resolved once at construction and recorded on
-  // the event-loop thread; the atomics above reach the registry through a
+  // the loop threads; the atomics above reach the registry through a
   // scrape-time collector (see the constructor).
   obs::MetricsRegistry* registry_;
   obs::Gauge* active_conns_gauge_;

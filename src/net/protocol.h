@@ -35,6 +35,15 @@
 //   error        response:               u32 ErrorCode, then u32-length-
 //                                        prefixed UTF-8 message
 //
+// Response ordering: the request_id echo is the correlation contract.  A
+// synchronous (no worker pool) server answers every frame in request order,
+// but a server offloading query batches to its worker pool may answer
+// pipelined QUERY_BATCH frames out of order — both relative to each other
+// and relative to a later non-query frame on the same connection.  Clients
+// MUST match responses to requests by request_id (MembershipClient's
+// pipelined path keeps a reassembly window keyed by id) and must not assume
+// FIFO response order beyond one-frame-at-a-time request/response use.
+//
 // Versioning: the header's version byte gates the whole frame; a decoder
 // seeing an unknown version reports kBadVersion without consuming past the
 // header, so a future v2 can extend payloads freely behind a version bump.

@@ -82,6 +82,15 @@ std::future<std::vector<uint8_t>> FilterService::QueryBatch(
   return result;
 }
 
+void FilterService::QueryBatchAsync(std::vector<uint64_t> keys,
+                                    QueryCallback done) {
+  Request request;
+  request.is_insert = false;
+  request.keys = std::move(keys);
+  request.query_callback = std::move(done);
+  Enqueue(std::move(request));
+}
+
 void FilterService::Enqueue(Request request) {
   if (num_threads_ == 0) {
     Execute(request);
@@ -118,7 +127,11 @@ void FilterService::Execute(Request& request) {
   } else {
     std::vector<uint8_t> out(request.keys.size());
     QueryBatchSync(request.keys.data(), request.keys.size(), out.data());
-    request.query_result.set_value(std::move(out));
+    if (request.query_callback) {
+      request.query_callback(std::move(out));
+    } else {
+      request.query_result.set_value(std::move(out));
+    }
   }
 }
 
@@ -135,6 +148,14 @@ uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
 
 void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
                                    uint8_t* out) {
+  if (query_fault_hook_armed_.load(std::memory_order_acquire)) {
+    std::function<void(const uint64_t*, size_t)> hook;
+    {
+      std::lock_guard<std::mutex> lock(query_fault_hook_mutex_);
+      hook = query_fault_hook_;
+    }
+    if (hook) hook(keys, count);
+  }
   obs::ScopedLatency timer(query_exec_hist_);
   query_batch_keys_hist_->Record(count);
   std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
@@ -277,6 +298,14 @@ FilterServiceStats FilterService::stats() const {
   s.front_cache_hits = front_cache_hits_.load(std::memory_order_relaxed);
   s.front_cache_misses = front_cache_misses_.load(std::memory_order_relaxed);
   return s;
+}
+
+void FilterService::SetQueryFaultHookForTesting(
+    std::function<void(const uint64_t* keys, size_t count)> hook) {
+  std::lock_guard<std::mutex> lock(query_fault_hook_mutex_);
+  query_fault_hook_ = std::move(hook);
+  query_fault_hook_armed_.store(query_fault_hook_ != nullptr,
+                                std::memory_order_release);
 }
 
 void FilterService::Stop() {

@@ -85,6 +85,21 @@ class FilterService {
   // order submitted.
   std::future<std::vector<uint8_t>> QueryBatch(std::vector<uint64_t> keys);
 
+  // Completion callback for QueryBatchAsync: one 0/1 byte per key, in the
+  // order submitted.  Invoked exactly once, on the worker thread that
+  // executed the batch (or inline on the submitting thread when the service
+  // is synchronous or stopping) — keep it cheap and non-blocking; the
+  // network event loop hands completions back to itself through a wakeup fd.
+  using QueryCallback = std::function<void(std::vector<uint8_t> results)>;
+
+  // Callback flavor of QueryBatch: rides the same bounded queue and worker
+  // pool, but delivers results without a future/promise rendezvous, so a
+  // submitter that must not block (an event loop) can decouple decode from
+  // filter execution.  Backpressure is unchanged — submission still blocks
+  // while the queue is at max_pending (callers wanting a hard non-blocking
+  // guarantee must cap their own in-flight count below max_pending).
+  void QueryBatchAsync(std::vector<uint64_t> keys, QueryCallback done);
+
   // Synchronous batch entry points for callers that already own a thread
   // (the network event loop hands decoded frames straight here): they bypass
   // the request queue but take the same snapshot shared-lock, update the
@@ -122,12 +137,24 @@ class FilterService {
   // submitted after Stop() execute synchronously.
   void Stop();
 
+  // Test-only fault injection: when set, the hook runs on the executing
+  // thread at the top of every query batch (before the filter is touched),
+  // seeing the batch's keys.  Tests use it to delay batches that contain a
+  // marker key so out-of-order completion and backpressure paths become
+  // deterministic.  Guarded by a mutex on both sides, so it may be installed
+  // or cleared while traffic is flowing.  Pass nullptr to clear.
+  void SetQueryFaultHookForTesting(
+      std::function<void(const uint64_t* keys, size_t count)> hook);
+
  private:
   struct Request {
     bool is_insert = false;
     std::vector<uint64_t> keys;
     std::promise<uint64_t> insert_result;
     std::promise<std::vector<uint8_t>> query_result;
+    // Non-null for QueryBatchAsync requests: invoked with the results
+    // instead of fulfilling query_result.
+    QueryCallback query_callback;
     // Enqueue timestamp feeding the service.queue.wait.ns histogram.
     uint64_t enqueue_ns = 0;
   };
@@ -167,6 +194,13 @@ class FilterService {
   // mutable: bumped from the const Contains() fast path.
   mutable std::atomic<uint64_t> front_cache_hits_{0};
   mutable std::atomic<uint64_t> front_cache_misses_{0};
+
+  // Test-only query fault hook (see SetQueryFaultHookForTesting).  The
+  // atomic flag keeps the disabled hot path to one relaxed load; the mutex
+  // makes install/clear safe against in-flight batches.
+  std::atomic<bool> query_fault_hook_armed_{false};
+  mutable std::mutex query_fault_hook_mutex_;
+  std::function<void(const uint64_t*, size_t)> query_fault_hook_;
 
   // Observability: histograms/gauges resolved once at construction, updated
   // lock-free on the request path; the counters above reach the registry

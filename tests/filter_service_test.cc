@@ -294,5 +294,64 @@ TEST(FilterService, FrontCacheIsAnswerTransparentOnDupHeavyTraffic) {
   EXPECT_EQ(cached.Contains(sentinel), plain.Contains(sentinel));
 }
 
+TEST(FilterService, QueryBatchAsyncDeliversCallbackOffTheSubmittingThread) {
+  const uint64_t n = 50000;
+  FilterServiceOptions options;
+  options.num_threads = 2;
+  FilterService service(MakeSharded(n, 881), options);
+  const auto keys = RandomKeys(n, 882);
+  EXPECT_EQ(service.InsertBatch(keys).get(), 0u);
+
+  // Callback flavor answers identically to the future flavor, and (with a
+  // worker pool) runs on a worker thread, not the submitter.
+  std::promise<std::vector<uint8_t>> done;
+  std::thread::id callback_thread;
+  service.QueryBatchAsync(
+      std::vector<uint64_t>(keys.begin(), keys.begin() + 4096),
+      [&](std::vector<uint8_t> results) {
+        callback_thread = std::this_thread::get_id();
+        done.set_value(std::move(results));
+      });
+  const std::vector<uint8_t> results = done.get_future().get();
+  ASSERT_EQ(results.size(), 4096u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], 1) << "false negative at " << i;
+  }
+  EXPECT_NE(callback_thread, std::this_thread::get_id());
+  service.Drain();
+  EXPECT_EQ(service.stats().keys_queried, 4096u);
+}
+
+TEST(FilterService, QueryBatchAsyncRunsInlineWhenSynchronous) {
+  FilterService service(MakeSharded(1000, 883), {.num_threads = 0});
+  const uint64_t key = 77;
+  EXPECT_EQ(service.InsertBatch({key}).get(), 0u);
+  bool called = false;
+  service.QueryBatchAsync({key}, [&](std::vector<uint8_t> results) {
+    called = true;
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], 1);
+  });
+  // Synchronous service: the callback completed before the call returned.
+  EXPECT_TRUE(called);
+}
+
+TEST(FilterService, QueryFaultHookSeesBatchKeysAndClears) {
+  FilterService service(MakeSharded(1000, 884), {.num_threads = 0});
+  std::vector<uint64_t> seen;
+  service.SetQueryFaultHookForTesting(
+      [&](const uint64_t* keys, size_t count) {
+        seen.assign(keys, keys + count);
+      });
+  const std::vector<uint64_t> probe = {1, 2, 3};
+  std::vector<uint8_t> out(probe.size());
+  service.QueryBatchSync(probe.data(), probe.size(), out.data());
+  EXPECT_EQ(seen, probe);
+  service.SetQueryFaultHookForTesting(nullptr);
+  seen.clear();
+  service.QueryBatchSync(probe.data(), probe.size(), out.data());
+  EXPECT_TRUE(seen.empty());
+}
+
 }  // namespace
 }  // namespace prefixfilter

@@ -6,10 +6,12 @@
 #include "src/net/membership_server.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -531,6 +533,353 @@ TEST(MembershipServer, StopIsIdempotentAndRestartableObjectsAreSeparate) {
   bool present = false;
   const uint64_t key = 1;
   EXPECT_TRUE(client.Contains(key, &present)) << client.error();
+}
+
+// --- multi-loop scale-out and query offload ---------------------------------
+
+// Like MakeService but with a worker pool, so the server's offload path (and
+// the out-of-order completion machinery behind it) actually engages.
+std::shared_ptr<FilterService> MakeThreadedService(
+    uint64_t capacity, uint32_t num_threads,
+    obs::MetricsRegistry* registry = nullptr) {
+  ShardedFilterOptions options;
+  options.num_shards = 8;
+  options.seed = 0x5e12;
+  auto filter = ShardedFilter::Make(capacity, options);
+  EXPECT_NE(filter, nullptr);
+  FilterServiceOptions service_options;
+  service_options.num_threads = num_threads;
+  service_options.registry = registry;
+  return std::make_shared<FilterService>(
+      std::shared_ptr<ShardedFilter>(filter.release()), service_options);
+}
+
+TEST(MembershipServer, MultiLoopReuseportSpreadsConnectionsAcrossLoops) {
+  obs::MetricsRegistry registry;
+  auto service = MakeService(20000, /*shards=*/8, /*front_cache_slots=*/0,
+                             &registry);
+  ServerOptions options;
+  options.num_loops = 4;
+  options.registry = &registry;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  EXPECT_EQ(server.num_loops(), 4u);
+  // Every Linux this repo targets has SO_REUSEPORT (>= 3.9).
+  EXPECT_TRUE(server.reuseport_active());
+
+  // Many short-lived clients: the kernel hashes each new 4-tuple to a
+  // listener, so with 24 connections over 4 loops the chance every one lands
+  // on a single loop is ~4 * (1/4)^24 — never.  Every client runs the full
+  // insert+query round trip, proving each loop serves correctly.
+  const auto keys = RandomKeys(4096, 921);
+  constexpr int kClients = 24;
+  for (int c = 0; c < kClients; ++c) {
+    MembershipClient client(ClientOptions{.port = server.port()});
+    uint64_t failures = 0;
+    ASSERT_TRUE(client.InsertBatch(keys.data() + c * 128, 128, &failures))
+        << client.error();
+    std::vector<uint8_t> answers;
+    ASSERT_TRUE(client.QueryBatch(keys.data() + c * 128, 128, &answers))
+        << client.error();
+    for (uint8_t a : answers) EXPECT_EQ(a, 1);
+  }
+  EXPECT_EQ(server.stats().connections_accepted, kClients);
+
+  if (obs::kEnabled) {
+    const auto samples = registry.Collect();
+    uint64_t total = 0;
+    int busy_loops = 0;
+    for (int i = 0; i < 4; ++i) {
+      const obs::MetricSample* s = obs::FindSample(
+          samples, "net.server.loop.connections", "loop", std::to_string(i));
+      ASSERT_NE(s, nullptr) << "missing loop=" << i << " series";
+      total += static_cast<uint64_t>(s->value);
+      busy_loops += s->value > 0;
+    }
+    EXPECT_EQ(total, kClients);  // per-loop counters account for every accept
+    EXPECT_GE(busy_loops, 2) << "kernel sent all connections to one loop";
+  }
+}
+
+TEST(MembershipServer, SharedAcceptFallbackServesWithoutReuseport) {
+  auto service = MakeService(20000);
+  ServerOptions options;
+  options.num_loops = 3;
+  options.use_reuseport = false;  // force the shared-listener fallback
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  EXPECT_EQ(server.num_loops(), 3u);
+  EXPECT_FALSE(server.reuseport_active());
+
+  const auto keys = RandomKeys(6000, 911);
+  for (int c = 0; c < 6; ++c) {
+    MembershipClient client(ClientOptions{.port = server.port()});
+    uint64_t failures = 0;
+    ASSERT_TRUE(client.InsertBatch(keys.data() + c * 1000, 1000, &failures))
+        << client.error();
+    EXPECT_EQ(failures, 0u);
+  }
+  MembershipClient client(ClientOptions{.port = server.port()});
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryBatch(keys.data(), keys.size(), &answers))
+      << client.error();
+  ASSERT_EQ(answers.size(), keys.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], 1) << "false negative at " << i;
+  }
+  EXPECT_EQ(server.stats().connections_accepted, 7u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+// A distinctive key the fault hook keys on; never inserted, only queried.
+constexpr uint64_t kMarkerKey = 0xDEADBEEF12345678ull;
+
+bool BatchHasMarker(const uint64_t* keys, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (keys[i] == kMarkerKey) return true;
+  }
+  return false;
+}
+
+TEST(MembershipServer, OffloadedBatchesCompleteOutOfOrderWithIdsIntact) {
+  auto service = MakeThreadedService(20000, /*num_threads=*/2);
+  MembershipServer server(service, ServerOptions{});
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  MembershipClient loader(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(4096, 931);
+  uint64_t failures = 0;
+  ASSERT_TRUE(loader.InsertBatch(keys.data(), keys.size(), &failures));
+
+  // Delay exactly the batch carrying the marker key: frame A (marker) stalls
+  // on one worker while frame B, sent later on the same connection, completes
+  // on the other — a deterministic out-of-order completion.
+  service->SetQueryFaultHookForTesting([](const uint64_t* batch, size_t n) {
+    if (BatchHasMarker(batch, n)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+  });
+
+  RawConn conn(server.port());
+  std::vector<uint64_t> slow = {kMarkerKey, keys[1], keys[2]};
+  std::vector<uint8_t> frame_a;
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/1, slow.data(),
+                        slow.size(), &frame_a);
+  conn.Send(frame_a);
+  // Separate decode passes, so the frames become two offloaded batches
+  // instead of one merged batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<uint8_t> frame_b;
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/2, keys.data() + 3,
+                        2, &frame_b);
+  conn.Send(frame_b);
+
+  Frame first, second;
+  conn.ReadFrame(&first);
+  conn.ReadFrame(&second);
+  EXPECT_EQ(first.request_id, 2u) << "fast batch should finish first";
+  EXPECT_EQ(second.request_id, 1u);
+  std::vector<uint8_t> fast_answers, slow_answers;
+  ASSERT_TRUE(DecodeQueryResponsePayload(first.payload.data(),
+                                         first.payload.size(), &fast_answers));
+  ASSERT_TRUE(DecodeQueryResponsePayload(second.payload.data(),
+                                         second.payload.size(),
+                                         &slow_answers));
+  ASSERT_EQ(fast_answers.size(), 2u);
+  EXPECT_EQ(fast_answers[0], 1);  // keys[3], inserted
+  EXPECT_EQ(fast_answers[1], 1);  // keys[4], inserted
+  ASSERT_EQ(slow_answers.size(), 3u);
+  EXPECT_EQ(slow_answers[1], 1);  // keys[1], inserted
+  EXPECT_EQ(slow_answers[2], 1);  // keys[2], inserted
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.batches_offloaded, 2u);
+  EXPECT_GE(stats.responses_reordered, 1u);
+  service->SetQueryFaultHookForTesting(nullptr);
+}
+
+TEST(MembershipServer, InflightCapParksReadsAndEveryResponseStillArrives) {
+  auto service = MakeThreadedService(20000, /*num_threads=*/1);
+  ServerOptions options;
+  options.max_inflight_batches = 1;  // park after a single offloaded batch
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  MembershipClient loader(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(4096, 941);
+  uint64_t failures = 0;
+  ASSERT_TRUE(loader.InsertBatch(keys.data(), keys.size(), &failures));
+
+  // The marker batch holds the single worker for 200ms, so frames sent in
+  // the meantime find the connection at its in-flight cap.
+  service->SetQueryFaultHookForTesting([](const uint64_t* batch, size_t n) {
+    if (BatchHasMarker(batch, n)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+
+  RawConn conn(server.port());
+  std::vector<uint64_t> slow = {kMarkerKey};
+  std::vector<uint8_t> frame;
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/1, slow.data(),
+                        slow.size(), &frame);
+  conn.Send(frame);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Frame 2 reaches the decode loop while inflight == cap: the loop must
+  // count a stall and park read interest instead of offloading it.
+  frame.clear();
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/2, keys.data(), 64,
+                        &frame);
+  conn.Send(frame);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Frame 3 lands while the connection is parked and waits in socket buffers.
+  frame.clear();
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/3, keys.data(), 64,
+                        &frame);
+  conn.Send(frame);
+
+  // Nothing is lost: all three answers arrive once the worker drains, and
+  // ids 2/3 stay in order (single worker, FIFO queue, park preserved bytes).
+  Frame r1, r2, r3;
+  conn.ReadFrame(&r1);
+  conn.ReadFrame(&r2);
+  conn.ReadFrame(&r3);
+  EXPECT_EQ(r1.request_id, 1u);
+  EXPECT_EQ(r2.request_id, 2u);
+  EXPECT_EQ(r3.request_id, 3u);
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(DecodeQueryResponsePayload(r3.payload.data(), r3.payload.size(),
+                                         &answers));
+  ASSERT_EQ(answers.size(), 64u);
+  for (uint8_t a : answers) EXPECT_EQ(a, 1);
+
+  EXPECT_GE(server.stats().backpressure_stalls, 1u);
+  service->SetQueryFaultHookForTesting(nullptr);
+}
+
+TEST(MembershipClient, ReassemblesDeliberatelyReorderedPipelinedReplies) {
+  // A hand-rolled server that reads exactly two QUERY frames and answers
+  // them in REVERSE order — the worst case the protocol's ordering contract
+  // permits, produced deterministically (no worker-pool timing involved).
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread fake_server([listen_fd]() {
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    uint8_t buf[65536];
+    while (frames.size() < 2) {
+      Frame f;
+      const DecodeStatus status = decoder.Next(&f);
+      if (status == DecodeStatus::kFrame) {
+        frames.push_back(std::move(f));
+        continue;
+      }
+      ASSERT_EQ(status, DecodeStatus::kNeedMore);
+      const ssize_t n = ::recv(cfd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      decoder.Feed(buf, static_cast<size_t>(n));
+    }
+    std::vector<uint8_t> out;
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      std::vector<uint64_t> batch;
+      ASSERT_TRUE(DecodeKeyBatchPayload(it->payload.data(),
+                                        it->payload.size(), &batch));
+      std::vector<uint8_t> results(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        results[i] = static_cast<uint8_t>(batch[i] % 2);  // recognizable
+      }
+      EncodeQueryResponse(it->request_id, results.data(), results.size(),
+                          &out);
+    }
+    ASSERT_EQ(::send(cfd, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    ::close(cfd);
+  });
+
+  ClientOptions client_options;
+  client_options.port = port;
+  client_options.max_batch_keys = 64;
+  client_options.pipeline_depth = 2;  // both frames in flight at once
+  client_options.auto_reconnect = false;
+  MembershipClient client(client_options);
+  std::vector<uint64_t> keys(128);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryPipelined(keys.data(), keys.size(), &answers))
+      << client.error();
+  fake_server.join();
+  ::close(listen_fd);
+
+  // Answers land at the offsets of their REQUESTS, not of their arrival.
+  ASSERT_EQ(answers.size(), keys.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], static_cast<uint8_t>(i % 2)) << "misplaced at " << i;
+  }
+  EXPECT_EQ(client.responses_reordered(), 1u);
+}
+
+// Open fd count for this process (includes ".", ".." and the scan's own fd —
+// constant offsets, so equality across calls means no leak).
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(MembershipServer, StopDrainsInflightOffloadedWorkAndLeaksNoFds) {
+  const int fds_before = CountOpenFds();
+  ASSERT_GT(fds_before, 0);
+  {
+    auto service = MakeThreadedService(20000, /*num_threads=*/2);
+    ServerOptions options;
+    options.num_loops = 2;  // listeners, wake pipes, and pollers per loop
+    MembershipServer server(service, options);
+    ASSERT_TRUE(server.Start()) << server.error();
+
+    MembershipClient loader(ClientOptions{.port = server.port()});
+    const auto keys = RandomKeys(1000, 951);
+    uint64_t failures = 0;
+    ASSERT_TRUE(loader.InsertBatch(keys.data(), keys.size(), &failures));
+
+    // Make every query batch slow enough that Stop() races it in flight.
+    service->SetQueryFaultHookForTesting([](const uint64_t*, size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    RawConn conn(server.port());
+    std::vector<uint8_t> frame;
+    EncodeKeyBatchRequest(Opcode::kQueryBatch, /*request_id=*/9, keys.data(),
+                          256, &frame);
+    conn.Send(frame);
+    // Let the batch reach a worker (now sleeping in the hook), then shut
+    // down with the completion still outstanding.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.Stop();
+    EXPECT_FALSE(server.running());
+    service->SetQueryFaultHookForTesting(nullptr);
+    // Stop() drained the pool: the batch ran to completion.
+    EXPECT_GE(service->stats().query_batches, 1u);
+  }
+  // Server loops, listeners, wake pipes, pollers, and both clients are gone.
+  EXPECT_EQ(CountOpenFds(), fds_before);
 }
 
 }  // namespace
