@@ -21,6 +21,7 @@
 // instead sweeps filters through their concrete types (no virtual dispatch,
 // the regime the paper's figures measure) AND through AnyFilter, reporting
 // the dispatch tax side by side.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -35,6 +36,7 @@
 #include "src/filters/blocked_bloom.h"
 #include "src/filters/bloom.h"
 #include "src/filters/cuckoo.h"
+#include "src/filters/fast_multiblock.h"
 #include "src/filters/twochoicer.h"
 #include "src/workload/workload.h"
 
@@ -52,7 +54,8 @@ using prefixfilter::MakeFilter;
 // query throughput collapses to ~1.3 Mops/s at full load (ROADMAP), which
 // the CI bench-smoke job should not pay for on every PR.
 const char* kDefaultFilters[] = {
-    "BF-12",        "BBF-Flex",      "CF-8",    "CF-12-Flex", "TC",
+    "BF-12",        "BBF-Flex",      "FMB32",   "FMB64",
+    "CF-8",         "CF-12-Flex",    "TC",
     "PF[BBF-Flex]", "PF[CF12-Flex]",
     "PF[TC]",       "SHARD16[PF[TC]]",
 };
@@ -69,13 +72,14 @@ const char* kDemotedFilters[] = {"QF"};
 // once while the CI gate expects <15% drift.
 struct Cell {
   bool ok = false;
-  bench::PhaseStats ins, qry, ops;
+  bench::PhaseStats ins, qry, bqry, ops;
   prefixfilter::json::Value quality = prefixfilter::json::Value::MakeObject();
 
   void MergeBest(const bench::PhaseStats& i, const bench::PhaseStats& q,
-                 bool first) {
+                 const bench::PhaseStats& b, bool first) {
     if (first || i.Mops() > ins.Mops()) ins = i;
     if (first || q.Mops() > qry.Mops()) qry = q;
+    if (first || b.Mops() > bqry.Mops()) bqry = b;
   }
 };
 
@@ -96,7 +100,11 @@ bool RunCellOnce(const std::string& filter_name,
   const bench::PhaseStats ins = bench::TimedInserts(
       *filter, stream.insert_keys, 0, stream.insert_keys.size());
   const bench::PhaseStats qry = bench::TimedQueries(*filter, stream.queries);
-  cell->MergeBest(ins, qry, !cell->ok);
+  // Batched drain through the devirtualized AnyFilter batch path (the
+  // router/service regime) alongside the scalar virtual-per-key loop above.
+  const bench::PhaseStats bqry =
+      bench::TimedBatchQueries(*filter, stream.queries);
+  cell->MergeBest(ins, qry, bqry, !cell->ok);
 
   if (measure_quality) {
     uint64_t false_positives = 0, false_negatives = 0;
@@ -156,7 +164,9 @@ void RunConcreteOnce(Filter&& filter, const workload::Stream& stream,
   const bench::PhaseStats ins = bench::TimedInserts(
       filter, stream.insert_keys, 0, stream.insert_keys.size());
   const bench::PhaseStats qry = bench::TimedQueries(filter, stream.queries);
-  cell->MergeBest(ins, qry, !cell->ok);
+  const bench::PhaseStats bqry =
+      bench::TimedBatchQueries(filter, stream.queries);
+  cell->MergeBest(ins, qry, bqry, !cell->ok);
   cell->ok = true;
 }
 
@@ -189,6 +199,18 @@ std::vector<ConcreteEntry> ConcreteRegistry() {
        [](const workload::Stream& s, uint64_t seed, Cell* c) {
          RunConcreteOnce(
              BlockedBloomFilter::MakeFlexible(s.spec.num_keys, 10.67, seed),
+             s, c);
+       }},
+      {"FMB32",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(
+             prefixfilter::FastMultiBlock32::Make(s.spec.num_keys, 8.0, seed),
+             s, c);
+       }},
+      {"FMB64",
+       [](const workload::Stream& s, uint64_t seed, Cell* c) {
+         RunConcreteOnce(
+             prefixfilter::FastMultiBlock64::Make(s.spec.num_keys, 12.0, seed),
              s, c);
        }},
       {"CF-12-Flex",
@@ -269,6 +291,10 @@ int RunConcreteSweep(const std::vector<std::string>& filters,
     (void)RunCellOnce(registry.front().name, warm, options, false,
                       &discard_any);
   }
+  // Geometric means over all cells of the fraction of the concrete rate the
+  // AnyFilter path retains — the headline dispatch-tax numbers.
+  double log_batch_ratio = 0.0, log_scalar_ratio = 0.0;
+  size_t geomean_cells = 0;
   for (const auto& spec : suite) {
     const workload::Stream stream = workload::Generate(spec);
     for (const auto& entry : registry) {
@@ -279,22 +305,49 @@ int RunConcreteSweep(const std::vector<std::string>& filters,
       }
       const double insert_tax = TaxPct(concrete.ins.Mops(), any.ins.Mops());
       const double query_tax = TaxPct(concrete.qry.Mops(), any.qry.Mops());
+      const double batch_tax = TaxPct(concrete.bqry.Mops(), any.bqry.Mops());
       prefixfilter::json::Value metrics = bench::PhaseMetrics(concrete.ins,
                                                               "insert");
       const prefixfilter::json::Value query_metrics =
           bench::PhaseMetrics(concrete.qry, "query");
       for (const auto& [k, v] : query_metrics.AsObject()) metrics.Set(k, v);
+      const prefixfilter::json::Value batch_metrics =
+          bench::PhaseMetrics(concrete.bqry, "batch_query");
+      for (const auto& [k, v] : batch_metrics.AsObject()) metrics.Set(k, v);
       metrics.Set("any_insert_mops", any.ins.Mops());
       metrics.Set("any_query_mops", any.qry.Mops());
+      metrics.Set("any_batch_query_mops", any.bqry.Mops());
       metrics.Set("insert_dispatch_tax_pct", insert_tax);
       metrics.Set("query_dispatch_tax_pct", query_tax);
+      metrics.Set("batch_dispatch_tax_pct", batch_tax);
+      if (concrete.qry.Mops() > 0 && any.qry.Mops() > 0 &&
+          concrete.bqry.Mops() > 0 && any.bqry.Mops() > 0) {
+        log_scalar_ratio += std::log(any.qry.Mops() / concrete.qry.Mops());
+        log_batch_ratio += std::log(any.bqry.Mops() / concrete.bqry.Mops());
+        ++geomean_cells;
+      }
       std::printf("  %-14s x %-18s concrete %7.1f / any %7.1f Mops/s query"
-                  "  (tax %+5.1f%%)\n",
+                  "  (tax %+5.1f%%, batch %+5.1f%%)\n",
                   entry.name, spec.name.c_str(), concrete.qry.Mops(),
-                  any.qry.Mops(), query_tax);
+                  any.qry.Mops(), query_tax, batch_tax);
       runner->Add(std::string(entry.name) + "#concrete", spec.name,
                   std::move(metrics));
     }
+  }
+  if (geomean_cells > 0) {
+    const double denom = static_cast<double>(geomean_cells);
+    const double scalar_geomean_tax =
+        100.0 * (1.0 - std::exp(log_scalar_ratio / denom));
+    const double batch_geomean_tax =
+        100.0 * (1.0 - std::exp(log_batch_ratio / denom));
+    std::printf(
+        "bench_all: AnyFilter dispatch tax geomean over %zu cells: "
+        "batch %+.1f%%, scalar %+.1f%%\n",
+        geomean_cells, batch_geomean_tax, scalar_geomean_tax);
+    prefixfilter::json::Value summary = prefixfilter::json::Value::MakeObject();
+    summary.Set("batch_dispatch_tax_geomean_pct", batch_geomean_tax);
+    summary.Set("scalar_dispatch_tax_geomean_pct", scalar_geomean_tax);
+    runner->Add("ALL#concrete", "geomean", std::move(summary));
   }
   return 0;
 }
@@ -307,6 +360,9 @@ prefixfilter::json::Value CellMetrics(const Cell& cell, bool interleaved) {
     const prefixfilter::json::Value query_metrics =
         bench::PhaseMetrics(cell.qry, "query");
     for (const auto& [k, v] : query_metrics.AsObject()) metrics.Set(k, v);
+    const prefixfilter::json::Value batch_metrics =
+        bench::PhaseMetrics(cell.bqry, "batch_query");
+    for (const auto& [k, v] : batch_metrics.AsObject()) metrics.Set(k, v);
   }
   for (const auto& [k, v] : cell.quality.AsObject()) metrics.Set(k, v);
   return metrics;

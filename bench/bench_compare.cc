@@ -1,5 +1,9 @@
 // bench_compare: the CI perf-regression gate over bench_all JSON documents.
 //
+// All gate decisions live in bench/compare_core.h (unit-tested by
+// tests/bench_compare_gate_test.cc); this file is only flags, file I/O, and
+// report printing.
+//
 // Modes:
 //   bench_compare --validate CURRENT.json
 //       Schema-validates one document (schema tag, metadata, result rows,
@@ -19,26 +23,26 @@
 //        * "false_negatives": fail when nonzero (correctness canary).
 //        * rows present in BASELINE but missing from CURRENT: fail
 //          (coverage regression).
+//        * degenerate inputs fail, never silently pass: an empty baseline,
+//          or zero evaluated metric gates (disjoint metric sets).
 //
 // Options: --throughput-regress-pct=15 --fpr-regress-pct=10
 //          --space-regress-pct=5 --normalize-to=FILTER
 // Exit status: 0 clean, 1 regression/validation failure, 2 usage/IO error.
 #include <cstdio>
-#include <cmath>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/compare_core.h"
 #include "src/util/json.h"
 
 namespace {
 
 using prefixfilter::json::Value;
+namespace compare = prefixfilter::bench::compare;
 
 bool LoadJson(const std::string& path, Value* out) {
   std::ifstream in(path);
@@ -57,210 +61,53 @@ bool LoadJson(const std::string& path, Value* out) {
   return true;
 }
 
-bool EndsWith(const std::string& s, const char* suffix) {
-  const size_t len = std::strlen(suffix);
-  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
-}
-
-// (filter, workload) -> metrics object.
-using ResultIndex = std::map<std::pair<std::string, std::string>, const Value*>;
-
-bool IndexResults(const Value& doc, const std::string& path,
-                  ResultIndex* index) {
-  const Value* results = doc.Get("results");
-  if (results == nullptr || !results->is_array()) {
-    std::fprintf(stderr, "bench_compare: %s: missing \"results\" array\n",
-                 path.c_str());
-    return false;
-  }
-  for (const Value& row : results->AsArray()) {
-    const Value* metrics = row.Get("metrics");
-    if (!row.is_object() || metrics == nullptr || !metrics->is_object()) {
-      std::fprintf(stderr, "bench_compare: %s: malformed result row\n",
-                   path.c_str());
-      return false;
-    }
-    (*index)[{row.GetString("filter"), row.GetString("workload")}] = metrics;
-  }
-  return true;
-}
-
 int Validate(const std::string& path) {
   Value doc;
   if (!LoadJson(path, &doc)) return 2;
-  int errors = 0;
-  const auto require = [&](bool ok, const char* what) {
-    if (!ok) {
-      std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), what);
-      ++errors;
+  compare::ValidationReport report;
+  if (!compare::ValidateDoc(doc, &report)) {
+    for (const auto& e : report.errors) {
+      std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), e.c_str());
     }
-  };
-  require(doc.is_object(), "document is not a JSON object");
-  require(doc.GetString("schema") == "prefixfilter-bench-v1",
-          "schema tag is not \"prefixfilter-bench-v1\"");
-  require(doc.Get("git_sha") != nullptr && doc.Get("git_sha")->is_string(),
-          "missing string \"git_sha\"");
-  require(doc.Get("build_type") != nullptr, "missing \"build_type\"");
-  require(doc.Get("pf_native") != nullptr && doc.Get("pf_native")->is_bool(),
-          "missing bool \"pf_native\"");
-  require(doc.Get("n") != nullptr && doc.Get("n")->is_number(),
-          "missing numeric \"n\"");
-
-  ResultIndex index;
-  if (!IndexResults(doc, path, &index)) return 1;
-  const bool is_bench_all = doc.GetString("bench") == "bench_all";
-  std::set<std::string> filters, workloads;
-  for (const auto& [key, metrics] : index) {
-    filters.insert(key.first);
-    workloads.insert(key.second);
-    for (const auto& [name, value] : metrics->AsObject()) {
-      if (!value.is_number()) {
-        std::fprintf(stderr, "bench_compare: %s: non-numeric metric %s\n",
-                     path.c_str(), name.c_str());
-        ++errors;
-      }
-    }
-    // Only bench_all's schema promises per-cell quality metrics; the
-    // per-figure benches emit bench-specific metric sets.
-    if (is_bench_all && metrics->Get("bits_per_key") == nullptr) {
-      std::fprintf(stderr,
-                   "bench_compare: %s: %s/%s lacks bits_per_key\n",
-                   path.c_str(), key.first.c_str(), key.second.c_str());
-      ++errors;
-    }
-  }
-  require(!index.empty(), "document has no results");
-  if (errors != 0) {
-    std::printf("%s: INVALID (%d schema error(s))\n", path.c_str(), errors);
+    std::printf("%s: INVALID (%zu schema error(s))\n", path.c_str(),
+                report.errors.size());
     return 1;
   }
   std::printf("%s: schema ok, %zu results, %zu filters x %zu workloads\n",
-              path.c_str(), index.size(), filters.size(), workloads.size());
+              path.c_str(), report.num_results, report.filters.size(),
+              report.workloads.size());
   std::printf("  filters:");
-  for (const auto& f : filters) std::printf(" %s", f.c_str());
+  for (const auto& f : report.filters) std::printf(" %s", f.c_str());
   std::printf("\n  workloads:");
-  for (const auto& w : workloads) std::printf(" %s", w.c_str());
+  for (const auto& w : report.workloads) std::printf(" %s", w.c_str());
   std::printf("\n");
   return 0;
 }
 
-struct Gate {
-  double throughput_pct = 15.0;
-  double fpr_pct = 10.0;
-  double space_pct = 5.0;
-  std::string normalize_to;
-};
-
-// Normalizes a throughput metric against a same-document reference for the
-// same (workload, metric): either a named filter's value, or — with
-// --normalize-to=geomean — the geometric mean over every filter reporting
-// that metric in that workload.  The geomean reference is preferred for CI:
-// a single reference filter's own run-to-run jitter shifts every normalized
-// row at once, while the geomean averages that jitter across the sweep and
-// cancels machine-wide speed changes equally well.  Returns the raw value
-// when no reference exists.
-double Normalized(const ResultIndex& index, const Gate& gate,
-                  const std::string& workload, const std::string& metric,
-                  double value) {
-  if (gate.normalize_to.empty()) return value;
-  if (gate.normalize_to == "geomean") {
-    double log_sum = 0;
-    int count = 0;
-    for (const auto& [key, metrics] : index) {
-      if (key.second != workload) continue;
-      const double v = metrics->GetDouble(metric, 0.0);
-      if (v > 0) {
-        log_sum += std::log(v);
-        ++count;
-      }
-    }
-    if (count == 0) return value;
-    return value / std::exp(log_sum / count);
-  }
-  const auto it = index.find({gate.normalize_to, workload});
-  if (it == index.end()) return value;
-  const double ref = it->second->GetDouble(metric, 0.0);
-  return ref > 0 ? value / ref : value;
-}
-
 int Compare(const std::string& baseline_path, const std::string& current_path,
-            const Gate& gate) {
+            const compare::Gate& gate) {
   Value baseline_doc, current_doc;
   if (!LoadJson(baseline_path, &baseline_doc) ||
       !LoadJson(current_path, &current_doc)) {
     return 2;
   }
-  ResultIndex baseline, current;
-  if (!IndexResults(baseline_doc, baseline_path, &baseline) ||
-      !IndexResults(current_doc, current_path, &current)) {
-    return 1;
-  }
-
-  std::vector<std::string> failures;
-  const auto fail = [&](const std::pair<std::string, std::string>& key,
-                        const std::string& metric, double base, double cur,
-                        const char* what) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%s x %s: %s %s (baseline %.6g, current %.6g)",
-                  key.first.c_str(), key.second.c_str(), metric.c_str(), what,
-                  base, cur);
-    failures.emplace_back(buf);
-  };
-
-  size_t compared = 0;
-  for (const auto& [key, base_metrics] : baseline) {
-    const auto it = current.find(key);
-    if (it == current.end()) {
-      failures.push_back(key.first + " x " + key.second +
-                         ": missing from current run (coverage regression)");
-      continue;
-    }
-    const Value* cur_metrics = it->second;
-    for (const auto& [metric, base_value] : base_metrics->AsObject()) {
-      const Value* cur_value = cur_metrics->Get(metric);
-      if (cur_value == nullptr || !cur_value->is_number()) continue;
-      const double base = base_value.AsDouble();
-      const double cur = cur_value->AsDouble();
-      if (EndsWith(metric, "_mops")) {
-        const double base_n = Normalized(baseline, gate, key.second, metric, base);
-        const double cur_n = Normalized(current, gate, key.second, metric, cur);
-        if (cur_n < base_n * (1.0 - gate.throughput_pct / 100.0)) {
-          fail(key, metric, base_n, cur_n, "throughput regressed");
-        }
-        ++compared;
-      } else if (metric == "fpr") {
-        if (cur > base * (1.0 + gate.fpr_pct / 100.0) + 1e-5) {
-          fail(key, metric, base, cur, "FPR regressed");
-        }
-        ++compared;
-      } else if (metric == "bits_per_key") {
-        if (cur > base * (1.0 + gate.space_pct / 100.0)) {
-          fail(key, metric, base, cur, "space regressed");
-        }
-        ++compared;
-      } else if (metric == "false_negatives") {
-        if (cur > 0) {
-          fail(key, metric, base, cur, "false negatives (correctness!)");
-        }
-        ++compared;
-      }
-    }
-  }
-
+  compare::CompareReport report;
+  const int rc = compare::CompareDocs(baseline_doc, current_doc, gate, &report);
   std::printf("bench_compare: %zu baseline rows, %zu metric gates",
-              baseline.size(), compared);
+              report.baseline_rows, report.compared);
   if (!gate.normalize_to.empty()) {
     std::printf(" (throughput normalized to %s)", gate.normalize_to.c_str());
   }
   std::printf("\n");
-  if (failures.empty()) {
+  if (rc == 0) {
     std::printf("bench_compare: PASS (thresholds: throughput -%.0f%%, "
                 "fpr +%.0f%%, space +%.0f%%)\n",
                 gate.throughput_pct, gate.fpr_pct, gate.space_pct);
     return 0;
   }
-  std::printf("bench_compare: FAIL — %zu regression(s):\n", failures.size());
-  for (const auto& f : failures) std::printf("  %s\n", f.c_str());
+  std::printf("bench_compare: FAIL — %zu regression(s):\n",
+              report.failures.size());
+  for (const auto& f : report.failures) std::printf("  %s\n", f.c_str());
   std::printf("(intentional? refresh bench/baseline.json — see README "
               "\"Refreshing the baseline\")\n");
   return 1;
@@ -270,7 +117,7 @@ int Compare(const std::string& baseline_path, const std::string& current_path,
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
-  Gate gate;
+  compare::Gate gate;
   bool validate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -1,0 +1,227 @@
+// Core logic of the bench_compare regression gate, split out of the CLI so
+// the gate itself is unit-testable (tests/bench_compare_gate_test.cc): every
+// decision — schema validation, coverage, thresholds, and the
+// must-not-silently-pass rules — operates on parsed JSON documents and
+// reports through plain data, no file I/O and no printing.
+#ifndef PREFIXFILTER_BENCH_COMPARE_CORE_H_
+#define PREFIXFILTER_BENCH_COMPARE_CORE_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace prefixfilter::bench::compare {
+
+using prefixfilter::json::Value;
+
+// (filter, workload) -> metrics object (borrowed from the indexed document,
+// which must outlive the index).
+using ResultIndex = std::map<std::pair<std::string, std::string>, const Value*>;
+
+inline bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+// Builds the (filter, workload) index; appends structural complaints to
+// *errors and returns false if the document has no usable results array.
+inline bool IndexResults(const Value& doc, std::vector<std::string>* errors,
+                         ResultIndex* index) {
+  const Value* results = doc.Get("results");
+  if (results == nullptr || !results->is_array()) {
+    errors->push_back("missing \"results\" array");
+    return false;
+  }
+  for (const Value& row : results->AsArray()) {
+    const Value* metrics = row.Get("metrics");
+    if (!row.is_object() || metrics == nullptr || !metrics->is_object()) {
+      errors->push_back("malformed result row");
+      return false;
+    }
+    (*index)[{row.GetString("filter"), row.GetString("workload")}] = metrics;
+  }
+  return true;
+}
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  size_t num_results = 0;
+  std::set<std::string> filters, workloads;
+};
+
+// Schema-validates one bench document.  Returns true iff it is clean.
+inline bool ValidateDoc(const Value& doc, ValidationReport* report) {
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) report->errors.emplace_back(what);
+  };
+  require(doc.is_object(), "document is not a JSON object");
+  require(doc.GetString("schema") == "prefixfilter-bench-v1",
+          "schema tag is not \"prefixfilter-bench-v1\"");
+  require(doc.Get("git_sha") != nullptr && doc.Get("git_sha")->is_string(),
+          "missing string \"git_sha\"");
+  require(doc.Get("build_type") != nullptr, "missing \"build_type\"");
+  require(doc.Get("pf_native") != nullptr && doc.Get("pf_native")->is_bool(),
+          "missing bool \"pf_native\"");
+  require(doc.Get("n") != nullptr && doc.Get("n")->is_number(),
+          "missing numeric \"n\"");
+
+  ResultIndex index;
+  if (!IndexResults(doc, &report->errors, &index)) return false;
+  const bool is_bench_all = doc.GetString("bench") == "bench_all";
+  for (const auto& [key, metrics] : index) {
+    report->filters.insert(key.first);
+    report->workloads.insert(key.second);
+    for (const auto& [name, value] : metrics->AsObject()) {
+      if (!value.is_number()) {
+        report->errors.push_back("non-numeric metric " + name);
+      }
+    }
+    // Only bench_all's schema promises per-cell quality metrics; the
+    // per-figure benches emit bench-specific metric sets.  The "#concrete"
+    // dispatch-tax rows and geomean summary rows are throughput-only.
+    if (is_bench_all && metrics->Get("bits_per_key") == nullptr &&
+        key.first.find("#concrete") == std::string::npos) {
+      report->errors.push_back(key.first + "/" + key.second +
+                               " lacks bits_per_key");
+    }
+  }
+  report->num_results = index.size();
+  require(!index.empty(), "document has no results");
+  return report->errors.empty();
+}
+
+struct Gate {
+  double throughput_pct = 15.0;
+  double fpr_pct = 10.0;
+  double space_pct = 5.0;
+  std::string normalize_to;
+};
+
+// Normalizes a throughput metric against a same-document reference for the
+// same (workload, metric): either a named filter's value, or — with
+// --normalize-to=geomean — the geometric mean over every filter reporting
+// that metric in that workload.  The geomean reference is preferred for CI:
+// a single reference filter's own run-to-run jitter shifts every normalized
+// row at once, while the geomean averages that jitter across the sweep and
+// cancels machine-wide speed changes equally well.  Returns the raw value
+// when no reference exists.
+inline double Normalized(const ResultIndex& index, const Gate& gate,
+                         const std::string& workload, const std::string& metric,
+                         double value) {
+  if (gate.normalize_to.empty()) return value;
+  if (gate.normalize_to == "geomean") {
+    double log_sum = 0;
+    int count = 0;
+    for (const auto& [key, metrics] : index) {
+      if (key.second != workload) continue;
+      const double v = metrics->GetDouble(metric, 0.0);
+      if (v > 0) {
+        log_sum += std::log(v);
+        ++count;
+      }
+    }
+    if (count == 0) return value;
+    return value / std::exp(log_sum / count);
+  }
+  const auto it = index.find({gate.normalize_to, workload});
+  if (it == index.end()) return value;
+  const double ref = it->second->GetDouble(metric, 0.0);
+  return ref > 0 ? value / ref : value;
+}
+
+struct CompareReport {
+  std::vector<std::string> failures;
+  size_t baseline_rows = 0;
+  size_t compared = 0;  // individual metric gates evaluated
+};
+
+// Compares a current document against a baseline document.  Returns 0 when
+// every gate passes, 1 on any regression — including the degenerate cases a
+// gate must never silently wave through: an empty/unindexable baseline, a
+// row covered by the baseline but missing from the current run, and a
+// comparison that evaluated zero metric gates (disjoint metric sets would
+// otherwise "pass" without checking anything).
+inline int CompareDocs(const Value& baseline_doc, const Value& current_doc,
+                       const Gate& gate, CompareReport* report) {
+  ResultIndex baseline, current;
+  if (!IndexResults(baseline_doc, &report->failures, &baseline) ||
+      !IndexResults(current_doc, &report->failures, &current)) {
+    return 1;
+  }
+  report->baseline_rows = baseline.size();
+  if (baseline.empty()) {
+    report->failures.emplace_back(
+        "baseline has no result rows — an empty baseline gates nothing");
+    return 1;
+  }
+
+  const auto fail = [&](const std::pair<std::string, std::string>& key,
+                        const std::string& metric, double base, double cur,
+                        const char* what) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s x %s: %s %s (baseline %.6g, current %.6g)",
+                  key.first.c_str(), key.second.c_str(), metric.c_str(), what,
+                  base, cur);
+    report->failures.emplace_back(buf);
+  };
+
+  for (const auto& [key, base_metrics] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      report->failures.push_back(
+          key.first + " x " + key.second +
+          ": missing from current run (coverage regression)");
+      continue;
+    }
+    const Value* cur_metrics = it->second;
+    for (const auto& [metric, base_value] : base_metrics->AsObject()) {
+      const Value* cur_value = cur_metrics->Get(metric);
+      if (cur_value == nullptr || !cur_value->is_number()) continue;
+      const double base = base_value.AsDouble();
+      const double cur = cur_value->AsDouble();
+      if (EndsWith(metric, "_mops")) {
+        const double base_n =
+            Normalized(baseline, gate, key.second, metric, base);
+        const double cur_n =
+            Normalized(current, gate, key.second, metric, cur);
+        if (cur_n < base_n * (1.0 - gate.throughput_pct / 100.0)) {
+          fail(key, metric, base_n, cur_n, "throughput regressed");
+        }
+        ++report->compared;
+      } else if (metric == "fpr") {
+        if (cur > base * (1.0 + gate.fpr_pct / 100.0) + 1e-5) {
+          fail(key, metric, base, cur, "FPR regressed");
+        }
+        ++report->compared;
+      } else if (metric == "bits_per_key") {
+        if (cur > base * (1.0 + gate.space_pct / 100.0)) {
+          fail(key, metric, base, cur, "space regressed");
+        }
+        ++report->compared;
+      } else if (metric == "false_negatives") {
+        if (cur > 0) {
+          fail(key, metric, base, cur, "false negatives (correctness!)");
+        }
+        ++report->compared;
+      }
+    }
+  }
+  if (report->compared == 0) {
+    report->failures.emplace_back(
+        "zero metric gates evaluated — baseline and current share no "
+        "gateable metrics");
+  }
+  return report->failures.empty() ? 0 : 1;
+}
+
+}  // namespace prefixfilter::bench::compare
+
+#endif  // PREFIXFILTER_BENCH_COMPARE_CORE_H_

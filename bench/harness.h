@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/filter_factory.h"
 #include "src/util/json.h"
 #include "src/util/random.h"
 #include "src/util/simd.h"
@@ -280,6 +281,50 @@ PhaseStats TimedQueries(const Filter& filter,
     chunk_ns.push_back(chunk.Seconds() * 1e9 /
                        static_cast<double>(stop - base));
     stats.failures += found;
+  }
+  stats.seconds = total.Seconds();
+  stats.ops = queries.size();
+  KeepAlive(stats.failures);
+  internal::FillPercentiles(chunk_ns, &stats);
+  return stats;
+}
+
+// Warm + steady BATCH query measurement: drains the stream through the
+// filter's byte-output batch path in batches of `batch_size` keys (the
+// service/router regime — one dispatch per batch, prefetching inside).
+// Works on AnyFilter (virtual ContainsBatch, resolved once per batch) and on
+// concrete filters (ContainsBatchOrScalar routes to their batch path or a
+// concrete scalar loop), so the two sides of the --concrete dispatch-tax
+// comparison run the identical drain shape.
+template <typename Filter>
+PhaseStats TimedBatchQueries(const Filter& filter,
+                             const std::vector<uint64_t>& queries,
+                             size_t batch_size = 256,
+                             double warm_fraction = 0.1) {
+  std::vector<uint8_t> out(std::max<size_t>(1, batch_size));
+  const auto drain = [&](size_t begin, size_t end) {
+    uint64_t found = 0;
+    for (size_t base = begin; base < end; base += batch_size) {
+      const size_t n = std::min(batch_size, end - base);
+      ContainsBatchOrScalar(filter, queries.data() + base, n, out.data());
+      for (size_t i = 0; i < n; ++i) found += out[i];
+    }
+    return found;
+  };
+  const size_t warm =
+      static_cast<size_t>(warm_fraction * static_cast<double>(queries.size()));
+  KeepAlive(drain(0, warm));
+
+  PhaseStats stats;
+  std::vector<double> chunk_ns;
+  chunk_ns.reserve(queries.size() / internal::kChunkOps + 1);
+  Timer total;
+  for (size_t base = 0; base < queries.size(); base += internal::kChunkOps) {
+    const size_t stop = std::min(queries.size(), base + internal::kChunkOps);
+    Timer chunk;
+    stats.failures += drain(base, stop);
+    chunk_ns.push_back(chunk.Seconds() * 1e9 /
+                       static_cast<double>(stop - base));
   }
   stats.seconds = total.Seconds();
   stats.ops = queries.size();

@@ -1,12 +1,12 @@
 #include "src/core/filter_factory.h"
 
-#include <type_traits>
 #include <utility>
 
 #include "src/core/prefix_filter.h"
 #include "src/core/spare.h"
 #include "src/filters/blocked_bloom.h"
 #include "src/filters/bloom.h"
+#include "src/filters/fast_multiblock.h"
 #include "src/filters/cuckoo.h"
 #include "src/filters/quotient.h"
 #include "src/filters/twochoicer.h"
@@ -22,17 +22,6 @@
 namespace prefixfilter {
 namespace {
 
-// Detects a concrete filter's prefetching byte-output batch path (the prefix
-// filter has one; single-cache-line designs like the blocked Bloom filter do
-// not need one and fall back to the scalar loop).
-template <typename F, typename = void>
-struct HasByteBatch : std::false_type {};
-template <typename F>
-struct HasByteBatch<
-    F, std::void_t<decltype(std::declval<const F&>().ContainsBatch(
-           static_cast<const uint64_t*>(nullptr), size_t{0},
-           static_cast<uint8_t*>(nullptr)))>> : std::true_type {};
-
 // Adapts any concrete filter to the AnyFilter interface.  `factory_name` is
 // the canonical MakeFilter() spelling, kept so snapshots are tagged with a
 // name DeserializeFilter() can dispatch on (a filter's own Name() may embed
@@ -45,13 +34,19 @@ class FilterAdapter final : public AnyFilter {
 
   bool Insert(uint64_t key) override { return filter_.Insert(key); }
   bool Contains(uint64_t key) const override { return filter_.Contains(key); }
+  // Devirtualized batch hot paths: one virtual dispatch per batch, then a
+  // concrete loop over filter_ (inlined Contains/Insert — no per-key virtual
+  // calls, even for filters without their own batch path).
   void ContainsBatch(const uint64_t* keys, size_t count,
                      uint8_t* out) const override {
-    if constexpr (HasByteBatch<F>::value) {
-      filter_.ContainsBatch(keys, count, out);
-    } else {
-      AnyFilter::ContainsBatch(keys, count, out);
+    ContainsBatchOrScalar(filter_, keys, count, out);
+  }
+  uint64_t InsertBatch(const uint64_t* keys, size_t count) override {
+    uint64_t failures = 0;
+    for (size_t i = 0; i < count; ++i) {
+      failures += !filter_.Insert(keys[i]);
     }
+    return failures;
   }
   bool SerializeTo(std::vector<uint8_t>* out) const override {
     WriteFilterEnvelope(factory_name_, out);
@@ -117,6 +112,12 @@ std::unique_ptr<AnyFilter> MakeFilter(const std::string& raw_name,
   if (name == "BBF-Flex") {
     return Wrap(BlockedBloomFilter::MakeFlexible(capacity, 10.67, seed), name);
   }
+  if (name == "FMB32") {
+    return Wrap(FastMultiBlock32::Make(capacity, 8.0, seed), name);
+  }
+  if (name == "FMB64") {
+    return Wrap(FastMultiBlock64::Make(capacity, 12.0, seed), name);
+  }
   if (name == "CF-8") return Wrap(CuckooFilter8(capacity, false, seed), name);
   if (name == "CF-8-Flex") {
     return Wrap(CuckooFilter8(capacity, true, seed), name);
@@ -152,8 +153,9 @@ std::unique_ptr<AnyFilter> MakeFilter(const std::string& raw_name,
 std::vector<std::string> KnownFilterNames() {
   return {"CF-8",  "CF-8-Flex",  "CF-12",    "CF-12-Flex",    "CF-16",
           "CF-16-Flex", "PF[BBF-Flex]", "PF[CF12-Flex]", "PF[TC]",
-          "BBF",   "BBF-Flex",   "BF-8",     "BF-12",         "BF-16",
-          "TC",    "QF",         "SHARD16[PF[TC]]"};
+          "BBF",   "BBF-Flex",   "FMB32",    "FMB64",         "BF-8",
+          "BF-12", "BF-16",      "TC",       "QF",
+          "SHARD16[PF[TC]]"};
 }
 
 void WriteFilterEnvelope(const std::string& factory_name,
@@ -177,6 +179,12 @@ std::unique_ptr<AnyFilter> DeserializeFilter(const uint8_t* data, size_t len) {
   }
   if (name == "BBF" || name == "BBF-Flex") {
     return Rewrap<BlockedBloomFilter>(payload, payload_len, name);
+  }
+  if (name == "FMB32") {
+    return Rewrap<FastMultiBlock32>(payload, payload_len, name);
+  }
+  if (name == "FMB64") {
+    return Rewrap<FastMultiBlock64>(payload, payload_len, name);
   }
   if (name == "CF-8" || name == "CF-8-Flex") {
     return Rewrap<CuckooFilter8>(payload, payload_len, name);

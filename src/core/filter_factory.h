@@ -12,9 +12,34 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace prefixfilter {
+
+// Detects a concrete filter's prefetching byte-output batch path
+// (`void ContainsBatch(const uint64_t*, size_t, uint8_t*) const`).  The
+// adapter below, the benches, and the differential-test harness all use this
+// to route batches to the concrete loop when one exists.
+template <typename F, typename = void>
+struct HasByteBatch : std::false_type {};
+template <typename F>
+struct HasByteBatch<
+    F, std::void_t<decltype(std::declval<const F&>().ContainsBatch(
+           static_cast<const uint64_t*>(nullptr), size_t{0},
+           static_cast<uint8_t*>(nullptr)))>> : std::true_type {};
+
+// Batch probe over a CONCRETE filter: its prefetching byte-batch path if it
+// has one, otherwise a concrete (devirtualized) scalar loop.
+template <typename F>
+void ContainsBatchOrScalar(const F& filter, const uint64_t* keys, size_t count,
+                           uint8_t* out) {
+  if constexpr (HasByteBatch<F>::value) {
+    filter.ContainsBatch(keys, count, out);
+  } else {
+    for (size_t i = 0; i < count; ++i) out[i] = filter.Contains(keys[i]) ? 1 : 0;
+  }
+}
 
 // The incremental-filter contract (paper §2): Insert may assume the key is
 // not already present; Contains never reports a false negative.
@@ -27,11 +52,24 @@ class AnyFilter {
   virtual bool Contains(uint64_t key) const = 0;
 
   // Batched membership: out[i] = 1 if keys[i] may be present, else 0.
-  // Implementations with a prefetching batch path (the prefix filter, the
-  // sharded filter) override this; the default is a scalar loop.
+  // The factory adapter always overrides this with a concrete loop (one
+  // virtual dispatch per batch, not per key); this default exists only for
+  // AnyFilter implementations outside the factory.
   virtual void ContainsBatch(const uint64_t* keys, size_t count,
                              uint8_t* out) const {
     for (size_t i = 0; i < count; ++i) out[i] = Contains(keys[i]) ? 1 : 0;
+  }
+
+  // Batched insert: returns the number of FAILED inserts (0 == every key
+  // absorbed), matching the sharded filter / service / wire-protocol
+  // convention.  Same devirtualization story as ContainsBatch: the adapter
+  // overrides with a concrete loop, one dispatch per batch.
+  virtual uint64_t InsertBatch(const uint64_t* keys, size_t count) {
+    uint64_t failures = 0;
+    for (size_t i = 0; i < count; ++i) {
+      failures += !Insert(keys[i]);
+    }
+    return failures;
   }
 
   // Appends a self-describing snapshot (envelope: magic + factory name +
@@ -48,7 +86,8 @@ class AnyFilter {
 //
 // Accepted names (KnownFilterNames() is the authoritative list; every entry
 // below is spelled exactly as MakeFilter() matches it):
-//   Bloom family:  "BF-8", "BF-12", "BF-16", "BBF", "BBF-Flex"
+//   Bloom family:  "BF-8", "BF-12", "BF-16", "BBF", "BBF-Flex",
+//                  "FMB32", "FMB64" (fast_multiblock SIMD kernels)
 //   Cuckoo family: "CF-8", "CF-8-Flex", "CF-12", "CF-12-Flex", "CF-16",
 //                  "CF-16-Flex"
 //   Others:        "TC", "QF"

@@ -12,6 +12,7 @@
 #ifndef PREFIXFILTER_SRC_FILTERS_BLOCKED_BLOOM_H_
 #define PREFIXFILTER_SRC_FILTERS_BLOCKED_BLOOM_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -60,6 +61,43 @@ class BlockedBloomFilter {
     const uint64_t h = hash_(key);
     return BlockedBloomContains(static_cast<uint32_t>(h),
                                 BlockPtr(BlockIndex(h)));
+  }
+
+  // Prefetching batch probe: hash and prefetch a 16-key window, then run the
+  // SIMD load-and-test over it.  Picked up by the AnyFilter adapter's
+  // byte-batch detection, so routed shard groups run this concrete loop
+  // instead of per-key virtual Contains.
+  void ContainsBatch(const uint64_t* keys, size_t count, uint8_t* out) const {
+    constexpr size_t kChunk = 16;
+    uint64_t hashes[kChunk];
+    uint64_t blocks[kChunk];
+    for (size_t base = 0; base < count; base += kChunk) {
+      const size_t chunk = std::min(kChunk, count - base);
+      for (size_t i = 0; i < chunk; ++i) {
+        hashes[i] = hash_(keys[base + i]);
+        blocks[i] = BlockIndex(hashes[i]);
+        __builtin_prefetch(BlockPtr(blocks[i]), 0, 1);
+      }
+      for (size_t i = 0; i < chunk; ++i) {
+        out[base + i] = BlockedBloomContains(static_cast<uint32_t>(hashes[i]),
+                                             BlockPtr(blocks[i])) ? 1 : 0;
+      }
+    }
+  }
+
+  // Portable-kernel twins for the kernel differential harness: identical
+  // hashing and geometry, scalar lane loops on every build.
+  bool InsertPortable(uint64_t key) {
+    const uint64_t h = hash_(key);
+    BlockedBloomAddPortable(static_cast<uint32_t>(h), BlockPtr(BlockIndex(h)));
+    ++size_;
+    return true;
+  }
+
+  bool ContainsPortable(uint64_t key) const {
+    const uint64_t h = hash_(key);
+    return BlockedBloomContainsPortable(static_cast<uint32_t>(h),
+                                        BlockPtr(BlockIndex(h)));
   }
 
   uint64_t size() const { return size_; }

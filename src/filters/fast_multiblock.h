@@ -1,0 +1,225 @@
+// FastMultiBlock filters "FMB32" / "FMB64" (Boost.Bloom's
+// fast_multiblock32/64 technique; multi-block Bloom design of Putze et al.).
+//
+// Each key maps to one block and sets one bit in each of the block's eight
+// lanes, so a membership probe is one (FMB64 under AVX-512) or two aligned
+// vector loads plus a test — the "handful of vector instructions per query"
+// regime the paper's PD kernels live in, applied to the Bloom side of the
+// sweep:
+//   * FMB32: 32-byte blocks of 8 x 32-bit lanes, 5-bit lane positions.
+//     Sized loosely by default (8 bits/key, ~2.5% FPR) — the speed-first
+//     configuration.
+//   * FMB64: 64-byte blocks of 8 x 64-bit lanes, 6-bit lane positions.
+//     A whole cache line per probe with less position quantization inside
+//     each lane; default 12 bits/key lands mid-FPR (~0.3%).
+// Both size by bits/key with fastrange block indexing (the BBF-Flex scheme):
+// high hash bits pick the block, the low 32 bits feed the lane kernel.
+//
+// The SIMD kernels live in src/util/simd.h next to their always-compiled
+// portable twins; InsertPortable/ContainsPortable run the portable kernels
+// on any build so the kernel differential harness and the scalar-baseline
+// ablation can compare both flavors in one binary.
+#ifndef PREFIXFILTER_SRC_FILTERS_FAST_MULTIBLOCK_H_
+#define PREFIXFILTER_SRC_FILTERS_FAST_MULTIBLOCK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/aligned.h"
+#include "src/util/hash.h"
+#include "src/util/serialize.h"
+#include "src/util/simd.h"
+
+namespace prefixfilter {
+
+// Lane-width policies: the only parts that differ between the two variants.
+struct Fmb32Traits {
+  using Lane = uint32_t;
+  static constexpr const char* kName = "FMB32";
+  static constexpr uint32_t kMagic = 0x50464d33;  // "PFM3"
+  static constexpr double kDefaultBitsPerKey = 8.0;
+  static void Add(uint32_t h, Lane* block) { Fmb32Add(h, block); }
+  static bool Contains(uint32_t h, const Lane* block) {
+    return Fmb32Contains(h, block);
+  }
+  static void AddPortable(uint32_t h, Lane* block) {
+    Fmb32AddPortable(h, block);
+  }
+  static bool ContainsPortable(uint32_t h, const Lane* block) {
+    return Fmb32ContainsPortable(h, block);
+  }
+};
+
+struct Fmb64Traits {
+  using Lane = uint64_t;
+  static constexpr const char* kName = "FMB64";
+  static constexpr uint32_t kMagic = 0x50464d36;  // "PFM6"
+  static constexpr double kDefaultBitsPerKey = 12.0;
+  static void Add(uint32_t h, Lane* block) { Fmb64Add(h, block); }
+  static bool Contains(uint32_t h, const Lane* block) {
+    return Fmb64Contains(h, block);
+  }
+  static void AddPortable(uint32_t h, Lane* block) {
+    Fmb64AddPortable(h, block);
+  }
+  static bool ContainsPortable(uint32_t h, const Lane* block) {
+    return Fmb64ContainsPortable(h, block);
+  }
+};
+
+template <typename Traits>
+class FastMultiBlockFilter {
+ public:
+  using Lane = typename Traits::Lane;
+  static constexpr int kLanesPerBlock = 8;
+  static constexpr int kBlockBytes = kLanesPerBlock * sizeof(Lane);
+
+  // ceil(capacity * bits_per_key / block_bits) blocks, fastrange-indexed.
+  static FastMultiBlockFilter Make(
+      uint64_t capacity, double bits_per_key = Traits::kDefaultBitsPerKey,
+      uint64_t seed = 0xf3bu) {
+    const uint64_t blocks = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(static_cast<double>(capacity) * bits_per_key /
+                         (kBlockBytes * 8))));
+    return FastMultiBlockFilter(capacity, blocks, bits_per_key, seed);
+  }
+
+  bool Insert(uint64_t key) {
+    const uint64_t h = hash_(key);
+    Traits::Add(static_cast<uint32_t>(h), BlockPtr(BlockIndex(h)));
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    const uint64_t h = hash_(key);
+    return Traits::Contains(static_cast<uint32_t>(h), BlockPtr(BlockIndex(h)));
+  }
+
+  // Prefetching batch probe: hash and prefetch a 16-key window, then run the
+  // one-load-per-key vector test over it.  Picked up by the AnyFilter
+  // adapter's byte-batch detection, so routed shard groups and bench batch
+  // loops land here with one dispatch per batch.
+  void ContainsBatch(const uint64_t* keys, size_t count, uint8_t* out) const {
+    constexpr size_t kChunk = 16;
+    uint64_t hashes[kChunk];
+    uint64_t blocks[kChunk];
+    for (size_t base = 0; base < count; base += kChunk) {
+      const size_t chunk = std::min(kChunk, count - base);
+      for (size_t i = 0; i < chunk; ++i) {
+        hashes[i] = hash_(keys[base + i]);
+        blocks[i] = BlockIndex(hashes[i]);
+        __builtin_prefetch(BlockPtr(blocks[i]), 0, 1);
+      }
+      for (size_t i = 0; i < chunk; ++i) {
+        out[base + i] = Traits::Contains(static_cast<uint32_t>(hashes[i]),
+                                         BlockPtr(blocks[i])) ? 1 : 0;
+      }
+    }
+  }
+
+  // Portable-kernel twins (same hashing and geometry, scalar lane loops):
+  // the kernel differential harness inserts through one flavor and probes
+  // through both; the ablation bench uses them as the scalar baseline.
+  bool InsertPortable(uint64_t key) {
+    const uint64_t h = hash_(key);
+    Traits::AddPortable(static_cast<uint32_t>(h), BlockPtr(BlockIndex(h)));
+    ++size_;
+    return true;
+  }
+
+  bool ContainsPortable(uint64_t key) const {
+    const uint64_t h = hash_(key);
+    return Traits::ContainsPortable(static_cast<uint32_t>(h),
+                                    BlockPtr(BlockIndex(h)));
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t num_blocks() const { return num_blocks_; }
+  size_t SpaceBytes() const { return lanes_.SizeBytes(); }
+  std::string Name() const { return Traits::kName; }
+
+  // --- persistence ----------------------------------------------------------
+
+  void SerializeTo(std::vector<uint8_t>* out) const {
+    ByteWriter w(out);
+    w.U32(Traits::kMagic);
+    w.U8(1);
+    w.U64(capacity_);
+    w.U64(num_blocks_);
+    w.F64(bits_per_key_);
+    w.U64(seed_);
+    w.U64(size_);
+    w.Raw(lanes_.data(), lanes_.SizeBytes());
+  }
+
+  static std::optional<FastMultiBlockFilter> Deserialize(const uint8_t* data,
+                                                         size_t len) {
+    ByteReader r(data, len);
+    if (r.U32() != Traits::kMagic || r.U8() != 1) return std::nullopt;
+    const uint64_t capacity = r.U64();
+    const uint64_t num_blocks = r.U64();
+    const double bits_per_key = r.F64();
+    const uint64_t seed = r.U64();
+    const uint64_t size = r.U64();
+    if (!r.ok() || num_blocks == 0 || !(bits_per_key > 0.0)) {
+      return std::nullopt;
+    }
+    // Verify the advertised geometry against the actual byte count BEFORE
+    // allocating, so corrupted block counts are rejected, not malloc'd.
+    if (num_blocks > r.remaining() / kBlockBytes + 1 ||
+        RoundUpToCacheLine(num_blocks * kBlockBytes) != r.remaining()) {
+      return std::nullopt;
+    }
+    FastMultiBlockFilter f(capacity, num_blocks, bits_per_key, seed);
+    if (!r.Raw(f.lanes_.data(), f.lanes_.SizeBytes()) || r.remaining() != 0) {
+      return std::nullopt;
+    }
+    f.size_ = size;
+    return f;
+  }
+
+ private:
+  FastMultiBlockFilter(uint64_t capacity, uint64_t num_blocks,
+                       double bits_per_key, uint64_t seed)
+      : capacity_(capacity),
+        num_blocks_(num_blocks),
+        bits_per_key_(bits_per_key),
+        lanes_(num_blocks * kLanesPerBlock),
+        hash_(seed),
+        seed_(seed) {}
+
+  // High hash bits pick the block (fastrange); the lane kernels consume the
+  // low 32 bits, so block choice and lane positions stay independent.
+  uint64_t BlockIndex(uint64_t h) const {
+    return FastRange64(h, num_blocks_);
+  }
+
+  Lane* BlockPtr(uint64_t block) {
+    return lanes_.data() + block * kLanesPerBlock;
+  }
+  const Lane* BlockPtr(uint64_t block) const {
+    return lanes_.data() + block * kLanesPerBlock;
+  }
+
+  uint64_t capacity_;
+  uint64_t num_blocks_;
+  double bits_per_key_;
+  AlignedBuffer<Lane> lanes_;
+  Dietzfelbinger64 hash_;
+  uint64_t seed_;
+  uint64_t size_ = 0;
+};
+
+using FastMultiBlock32 = FastMultiBlockFilter<Fmb32Traits>;
+using FastMultiBlock64 = FastMultiBlockFilter<Fmb64Traits>;
+
+}  // namespace prefixfilter
+
+#endif  // PREFIXFILTER_SRC_FILTERS_FAST_MULTIBLOCK_H_

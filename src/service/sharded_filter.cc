@@ -181,10 +181,9 @@ uint64_t ShardedFilter::InsertShard(uint32_t shard_index,
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> guard(shard.mutex);
   shard.stats.inserts += count;
-  uint64_t failures = 0;
-  for (size_t i = 0; i < count; ++i) {
-    failures += !shard.filter->Insert(keys[i]);
-  }
+  // One devirtualized batch call per shard group: the adapter's concrete
+  // insert loop runs under the lock instead of count virtual Inserts.
+  const uint64_t failures = shard.filter->InsertBatch(keys, count);
   shard.stats.insert_failures += failures;
   return failures;
 }

@@ -110,9 +110,10 @@ class ShardedFilter final : public AnyFilter {
   // Returns the number of failed inserts.
   uint64_t InsertShard(uint32_t shard, const uint64_t* keys, size_t count);
 
-  // Convenience grouped insert (counting-sort by shard, then per-shard
-  // batches).  Returns the number of failed inserts.
-  uint64_t InsertBatch(const uint64_t* keys, size_t count);
+  // Grouped insert (counting-sort by shard, then one lock + one concrete
+  // batch call per shard).  Returns the number of failed inserts, per the
+  // AnyFilter contract.
+  uint64_t InsertBatch(const uint64_t* keys, size_t count) override;
 
   uint64_t per_shard_capacity() const { return per_shard_capacity_; }
   const std::string& backend() const { return options_.backend; }

@@ -110,6 +110,27 @@ inline void BlockedBloomMaskScalar(uint32_t h, uint32_t out[8]) {
   }
 }
 
+// Portable add/contains, always compiled regardless of ISA so the kernel
+// differential harness (tests/kernel_differential_test.cc) and the scalar-
+// baseline ablation bench can compare the dispatched kernel against the
+// reference on the SAME build.  The dispatched functions below fall back to
+// these when no vector ISA is available, so in portable builds the pair is
+// trivially identical.
+inline void BlockedBloomAddPortable(uint32_t h, uint32_t* block) {
+  uint32_t mask[8];
+  BlockedBloomMaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+}
+
+inline bool BlockedBloomContainsPortable(uint32_t h, const uint32_t* block) {
+  uint32_t mask[8];
+  BlockedBloomMaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) {
+    if ((block[i] & mask[i]) != mask[i]) return false;
+  }
+  return true;
+}
+
 // Sets the key's 8 bits in the 32-byte block (one per lane).
 inline void BlockedBloomAdd(uint32_t h, uint32_t* block) {
 #if PF_HAVE_AVX2
@@ -121,9 +142,7 @@ inline void BlockedBloomAdd(uint32_t h, uint32_t* block) {
   __m256i* b = reinterpret_cast<__m256i*>(block);
   _mm256_store_si256(b, _mm256_or_si256(_mm256_load_si256(b), mask));
 #else
-  uint32_t mask[8];
-  BlockedBloomMaskScalar(h, mask);
-  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+  BlockedBloomAddPortable(h, block);
 #endif
 }
 
@@ -140,12 +159,167 @@ inline bool BlockedBloomContains(uint32_t h, const uint32_t* block) {
   // testc returns 1 iff (~b & mask) == 0, i.e. every mask bit is set in b.
   return _mm256_testc_si256(b, mask) != 0;
 #else
+  return BlockedBloomContainsPortable(h, block);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// FastMultiBlock kernels (Boost.Bloom's fast_multiblock32/64 technique, and
+// the multi-block design of Putze et al.'s cache-efficient Bloom filters):
+// one key sets one bit in each of 8 consecutive lanes, so a query is one or
+// two aligned vector loads plus a test — no per-word scalar loop.
+//   * FMB32: 8 x 32-bit lanes (32-byte block), 5-bit lane positions.
+//   * FMB64: 8 x 64-bit lanes (one full 64-byte cache line), 6-bit lane
+//     positions — a single AVX-512 load-and-test per query, and fewer
+//     position collisions within a lane than the 32-bit variant.
+// Lane positions come from the same odd-multiplier scheme as the blocked-
+// Bloom kernel (a multiply distributes the low hash bits across lanes) with
+// an independent salt set, so the two filter families are uncorrelated.
+// ---------------------------------------------------------------------------
+
+namespace fmb_internal {
+// Odd 32-bit multipliers, independent of bbf_internal::kSalts.
+inline constexpr uint32_t kSalts[8] = {
+    0x9e3779b1U, 0x85ebca77U, 0xc2b2ae3dU, 0x27d4eb2fU,
+    0x165667b1U, 0xd3a2646dU, 0xfd7046c5U, 0xb55a4f09U};
+}  // namespace fmb_internal
+
+// The 8 lane masks for hash `h`: 32-bit lanes, top 5 bits of h * salt.
+inline void Fmb32MaskScalar(uint32_t h, uint32_t out[8]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = uint32_t{1} << ((h * fmb_internal::kSalts[i]) >> 27);
+  }
+}
+
+// The 8 lane masks for hash `h`: 64-bit lanes, top 6 bits of h * salt.
+inline void Fmb64MaskScalar(uint32_t h, uint64_t out[8]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = uint64_t{1} << ((h * fmb_internal::kSalts[i]) >> 26);
+  }
+}
+
+inline void Fmb32AddPortable(uint32_t h, uint32_t* block) {
   uint32_t mask[8];
-  BlockedBloomMaskScalar(h, mask);
+  Fmb32MaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+}
+
+inline bool Fmb32ContainsPortable(uint32_t h, const uint32_t* block) {
+  uint32_t mask[8];
+  Fmb32MaskScalar(h, mask);
   for (int i = 0; i < 8; ++i) {
     if ((block[i] & mask[i]) != mask[i]) return false;
   }
   return true;
+}
+
+inline void Fmb64AddPortable(uint32_t h, uint64_t* block) {
+  uint64_t mask[8];
+  Fmb64MaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+}
+
+inline bool Fmb64ContainsPortable(uint32_t h, const uint64_t* block) {
+  uint64_t mask[8];
+  Fmb64MaskScalar(h, mask);
+  for (int i = 0; i < 8; ++i) {
+    if ((block[i] & mask[i]) != mask[i]) return false;
+  }
+  return true;
+}
+
+#if PF_HAVE_AVX2
+namespace fmb_internal {
+// 8 x 32-bit lane masks in one ymm register (mirrors Fmb32MaskScalar).
+inline __m256i Mask32(uint32_t h) {
+  const __m256i salts =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kSalts));
+  const __m256i hv = _mm256_set1_epi32(static_cast<int>(h));
+  const __m256i shifted = _mm256_srli_epi32(_mm256_mullo_epi32(hv, salts), 27);
+  return _mm256_sllv_epi32(_mm256_set1_epi32(1), shifted);
+}
+
+// 8 x 6-bit lane positions, one per 32-bit lane (mirrors the >> 26 of
+// Fmb64MaskScalar); widened to 64-bit shift counts by the callers.
+inline __m256i Shift64(uint32_t h) {
+  const __m256i salts =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kSalts));
+  const __m256i hv = _mm256_set1_epi32(static_cast<int>(h));
+  return _mm256_srli_epi32(_mm256_mullo_epi32(hv, salts), 26);
+}
+}  // namespace fmb_internal
+#endif
+
+// Sets the key's 8 bits in the 32-byte block.  `block` 32-byte aligned.
+inline void Fmb32Add(uint32_t h, uint32_t* block) {
+#if PF_HAVE_AVX2
+  const __m256i mask = fmb_internal::Mask32(h);
+  __m256i* b = reinterpret_cast<__m256i*>(block);
+  _mm256_store_si256(b, _mm256_or_si256(_mm256_load_si256(b), mask));
+#else
+  Fmb32AddPortable(h, block);
+#endif
+}
+
+// Tests whether all 8 of the key's bits are set in the 32-byte block.
+inline bool Fmb32Contains(uint32_t h, const uint32_t* block) {
+#if PF_HAVE_AVX2
+  const __m256i mask = fmb_internal::Mask32(h);
+  const __m256i b = _mm256_load_si256(reinterpret_cast<const __m256i*>(block));
+  return _mm256_testc_si256(b, mask) != 0;
+#else
+  return Fmb32ContainsPortable(h, block);
+#endif
+}
+
+// Sets the key's 8 bits in the 64-byte block.  `block` 64-byte aligned.
+inline void Fmb64Add(uint32_t h, uint64_t* block) {
+#if PF_HAVE_AVX512
+  // maskz_ variants (all-ones mask): same instructions, but a zeroing
+  // pass-through instead of the _mm512_undefined_* the unmasked forms use,
+  // which trips -Wmaybe-uninitialized through inlining on GCC.
+  const __m512i shifts =
+      _mm512_maskz_cvtepu32_epi64(0xff, fmb_internal::Shift64(h));
+  const __m512i mask =
+      _mm512_maskz_sllv_epi64(0xff, _mm512_set1_epi64(1), shifts);
+  _mm512_store_si512(block, _mm512_or_si512(_mm512_load_si512(block), mask));
+#elif PF_HAVE_AVX2
+  const __m256i shifts = fmb_internal::Shift64(h);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i lo = _mm256_sllv_epi64(
+      one, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(shifts)));
+  const __m256i hi = _mm256_sllv_epi64(
+      one, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(shifts, 1)));
+  __m256i* b = reinterpret_cast<__m256i*>(block);
+  _mm256_store_si256(b, _mm256_or_si256(_mm256_load_si256(b), lo));
+  _mm256_store_si256(b + 1, _mm256_or_si256(_mm256_load_si256(b + 1), hi));
+#else
+  Fmb64AddPortable(h, block);
+#endif
+}
+
+// Tests whether all 8 of the key's bits are set in the 64-byte block.
+inline bool Fmb64Contains(uint32_t h, const uint64_t* block) {
+#if PF_HAVE_AVX512
+  const __m512i shifts =
+      _mm512_maskz_cvtepu32_epi64(0xff, fmb_internal::Shift64(h));
+  const __m512i mask =
+      _mm512_maskz_sllv_epi64(0xff, _mm512_set1_epi64(1), shifts);
+  const __m512i b = _mm512_load_si512(block);
+  // All mask bits present iff (b & mask) == mask in every lane.
+  return _mm512_cmpeq_epi64_mask(_mm512_and_si512(b, mask), mask) == 0xff;
+#elif PF_HAVE_AVX2
+  const __m256i shifts = fmb_internal::Shift64(h);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i lo = _mm256_sllv_epi64(
+      one, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(shifts)));
+  const __m256i hi = _mm256_sllv_epi64(
+      one, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(shifts, 1)));
+  const __m256i* b = reinterpret_cast<const __m256i*>(block);
+  return _mm256_testc_si256(_mm256_load_si256(b), lo) != 0 &&
+         _mm256_testc_si256(_mm256_load_si256(b + 1), hi) != 0;
+#else
+  return Fmb64ContainsPortable(h, block);
 #endif
 }
 

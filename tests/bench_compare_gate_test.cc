@@ -1,0 +1,181 @@
+// Unit tests for the bench_compare regression gate itself
+// (bench/compare_core.h): the gate must catch real regressions AND must
+// never silently pass on degenerate inputs — a baseline row missing from
+// the candidate sweep, an empty baseline, or a comparison that evaluated
+// zero metric gates.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/compare_core.h"
+#include "src/util/json.h"
+
+namespace prefixfilter::bench::compare {
+namespace {
+
+Value ParseOrDie(const std::string& text) {
+  Value doc;
+  std::string error;
+  EXPECT_TRUE(Value::Parse(text, &doc, &error)) << error;
+  return doc;
+}
+
+// A minimal two-row bench_all-shaped document.
+std::string Doc(const std::string& rows) {
+  return R"({"schema": "prefixfilter-bench-v1", "bench": "bench_all",
+             "git_sha": "abc", "build_type": "Release", "pf_native": false,
+             "n": 1000, "results": [)" + rows + "]}";
+}
+
+std::string Row(const std::string& filter, const std::string& workload,
+                const std::string& metrics) {
+  return R"({"filter": ")" + filter + R"(", "workload": ")" + workload +
+         R"(", "metrics": {)" + metrics + "}}";
+}
+
+const char* kHealthyMetrics =
+    R"("query_mops": 100.0, "fpr": 0.01, "bits_per_key": 10.0,
+       "false_negatives": 0)";
+
+TEST(BenchCompareGate, IdenticalRunsPass) {
+  const Value base = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics) +
+                                    "," + Row("BBF", "uniform", kHealthyMetrics)));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, base, Gate{}, &report), 0);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.baseline_rows, 2u);
+  EXPECT_EQ(report.compared, 8u);  // 4 gated metrics x 2 rows
+}
+
+TEST(BenchCompareGate, ThroughputRegressionFails) {
+  const Value base = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  const Value cur = ParseOrDie(Doc(Row(
+      "PF[TC]", "uniform",
+      R"("query_mops": 50.0, "fpr": 0.01, "bits_per_key": 10.0,
+         "false_negatives": 0)")));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("throughput regressed"), std::string::npos);
+}
+
+TEST(BenchCompareGate, FalseNegativeAlwaysFails) {
+  const Value base = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  const Value cur = ParseOrDie(Doc(Row(
+      "PF[TC]", "uniform",
+      R"("query_mops": 100.0, "fpr": 0.01, "bits_per_key": 10.0,
+         "false_negatives": 1)")));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("false negatives"), std::string::npos);
+}
+
+// The coverage check: a filter present in the baseline but missing from the
+// candidate sweep must FAIL the gate, not silently pass (a sweep that
+// quietly drops a backend would otherwise sail through while gating
+// nothing about it).
+TEST(BenchCompareGate, MissingBaselineRowFailsCoverage) {
+  const Value base = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics) +
+                                    "," +
+                                    Row("FMB32", "uniform", kHealthyMetrics)));
+  const Value cur = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("FMB32"), std::string::npos);
+  EXPECT_NE(report.failures[0].find("coverage regression"), std::string::npos);
+}
+
+// A missing workload cell is a coverage regression too.
+TEST(BenchCompareGate, MissingWorkloadCellFailsCoverage) {
+  const Value base = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics) +
+                                    "," +
+                                    Row("PF[TC]", "zipf", kHealthyMetrics)));
+  const Value cur = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("zipf"), std::string::npos);
+}
+
+// Degenerate-input rules: these used to silently PASS.
+TEST(BenchCompareGate, EmptyBaselineFails) {
+  const Value base = ParseOrDie(Doc(""));
+  const Value cur = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("empty baseline"), std::string::npos);
+}
+
+TEST(BenchCompareGate, ZeroEvaluatedGatesFails) {
+  // Baseline and current share the row key but no gateable metric: the
+  // baseline's metric is not in the current run and vice versa.
+  const Value base = ParseOrDie(
+      Doc(Row("PF[TC]", "uniform", R"("query_mops": 100.0)")));
+  const Value cur = ParseOrDie(
+      Doc(Row("PF[TC]", "uniform", R"("insert_mops": 100.0)")));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  EXPECT_EQ(report.compared, 0u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("zero metric gates"), std::string::npos);
+}
+
+TEST(BenchCompareGate, MalformedBaselineFails) {
+  const Value base = ParseOrDie(R"({"schema": "prefixfilter-bench-v1"})");
+  const Value cur = ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics)));
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, cur, Gate{}, &report), 1);
+  EXPECT_FALSE(report.failures.empty());
+}
+
+// Normalization: a machine-wide 2x slowdown cancels under geomean
+// normalization, while a single filter regressing relative to the pack
+// still fails.
+TEST(BenchCompareGate, GeomeanNormalizationCancelsMachineSpeed) {
+  const Value base = ParseOrDie(
+      Doc(Row("A", "uniform", R"("query_mops": 100.0)") + "," +
+          Row("B", "uniform", R"("query_mops": 200.0)")));
+  const Value uniform_slowdown = ParseOrDie(
+      Doc(Row("A", "uniform", R"("query_mops": 50.0)") + "," +
+          Row("B", "uniform", R"("query_mops": 100.0)")));
+  Gate gate;
+  gate.normalize_to = "geomean";
+  CompareReport report;
+  EXPECT_EQ(CompareDocs(base, uniform_slowdown, gate, &report), 0)
+      << (report.failures.empty() ? "" : report.failures[0]);
+
+  const Value relative_regression = ParseOrDie(
+      Doc(Row("A", "uniform", R"("query_mops": 40.0)") + "," +
+          Row("B", "uniform", R"("query_mops": 200.0)")));
+  CompareReport report2;
+  EXPECT_EQ(CompareDocs(base, relative_regression, gate, &report2), 1);
+}
+
+TEST(BenchCompareGate, ValidateRejectsEmptyAndAcceptsHealthy) {
+  ValidationReport empty_report;
+  EXPECT_FALSE(ValidateDoc(ParseOrDie(Doc("")), &empty_report));
+
+  ValidationReport ok_report;
+  EXPECT_TRUE(ValidateDoc(
+      ParseOrDie(Doc(Row("PF[TC]", "uniform", kHealthyMetrics))), &ok_report))
+      << (ok_report.errors.empty() ? "" : ok_report.errors[0]);
+  EXPECT_EQ(ok_report.num_results, 1u);
+
+  // bench_all rows must carry bits_per_key — except the "#concrete"
+  // dispatch-tax rows, which are throughput-only by design.
+  ValidationReport missing_report;
+  EXPECT_FALSE(ValidateDoc(
+      ParseOrDie(Doc(Row("PF[TC]", "uniform", R"("query_mops": 1.0)"))),
+      &missing_report));
+  ValidationReport concrete_report;
+  EXPECT_TRUE(ValidateDoc(
+      ParseOrDie(Doc(Row("PF[TC]#concrete", "uniform",
+                         R"("query_mops": 1.0)"))),
+      &concrete_report));
+}
+
+}  // namespace
+}  // namespace prefixfilter::bench::compare

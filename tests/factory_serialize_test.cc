@@ -2,6 +2,7 @@
 // configuration, MakeFilter(name) → Insert → SerializeTo → DeserializeFilter
 // must reproduce a filter with identical answers, and damaged envelopes must
 // be rejected rather than crash or mis-dispatch.
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,41 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// The fast_multiblock configs must stay registered: the parameterized
+// suites above (and the bench sweep, and the coverage gate's baselines) all
+// enumerate KnownFilterNames(), so silently dropping a name would shrink
+// coverage everywhere at once.
+TEST(FactorySerialize, FastMultiBlockConfigsAreRegistered) {
+  const auto names = KnownFilterNames();
+  for (const char* required : {"FMB32", "FMB64"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required << " missing from KnownFilterNames()";
+  }
+}
+
+// A tampered block count must fail the pre-allocation geometry check
+// (advertised num_blocks vs actual payload bytes), not malloc a bogus table.
+TEST(FactorySerialize, FastMultiBlockGeometryMismatchRejected) {
+  for (const std::string name : {"FMB32", "FMB64"}) {
+    auto filter = MakeFilter(name, 5000, 23);
+    ASSERT_NE(filter, nullptr);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(filter->SerializeTo(&bytes));
+    // Envelope: u32 magic + u8 ver + u32 name length + name text; the
+    // payload's num_blocks u64 sits after its own u32 magic, u8 version,
+    // and u64 capacity.
+    const size_t payload = 4 + 1 + 4 + name.size();
+    const size_t num_blocks_off = payload + 4 + 1 + 8;
+    ASSERT_LT(num_blocks_off, bytes.size());
+    for (uint8_t delta : {uint8_t{1}, uint8_t{0x80}}) {
+      auto corrupt = bytes;
+      corrupt[num_blocks_off] ^= delta;
+      EXPECT_EQ(DeserializeFilter(corrupt.data(), corrupt.size()), nullptr)
+          << name << " delta=" << int{delta};
+    }
+  }
+}
 
 TEST(FactorySerialize, AliasCanonicalizes) {
   auto aliased = MakeFilter("PF[CF-12-Flex]", 10000, 23);
