@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +67,10 @@ struct LoadgenConfig {
   std::vector<uint32_t> server_threads = {1};
   std::vector<std::string> workloads = {"uniform-negative", "mixed-50-50",
                                         "adversarial-dup"};
+  // --record-frames=DIR: every client mirrors its wire frames into DIR
+  // (created if missing) — raw material for the fuzz seed corpora; see
+  // fuzz/make_seed_corpus.cc.
+  std::string record_frames_dir;
 };
 
 // Per-thread query-phase result.
@@ -149,6 +154,8 @@ int main(int argc, char** argv) {
       config.depth = static_cast<size_t>(std::atoll(arg.c_str() + 8));
     } else if (arg.rfind("--workloads=", 0) == 0) {
       config.workloads = bench::SplitCsv(arg.substr(12));
+    } else if (arg.rfind("--record-frames=", 0) == 0) {
+      config.record_frames_dir = arg.substr(16);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_net_loadgen [--quick] [--n-log2=L] [--seed=S]\n"
@@ -156,6 +163,7 @@ int main(int argc, char** argv) {
           "         [--threads=T] [--server-threads=N[,N...]]\n"
           "         [--connections=C] [--batch=B] [--depth=D]\n"
           "         [--front-cache=SLOTS] [--workloads=a,b,...]\n"
+          "         [--record-frames=DIR]\n"
           "Self-hosts an in-process loopback server unless --connect is\n"
           "given.  --server-threads sets the server's event-loop count\n"
           "(SO_REUSEPORT loop-per-core); a CSV list additionally runs a\n"
@@ -206,6 +214,18 @@ int main(int argc, char** argv) {
   net::ClientOptions client_options;
   client_options.max_batch_keys = config.batch;
   client_options.pipeline_depth = config.depth;
+  if (!config.record_frames_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.record_frames_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "net_loadgen: cannot create %s: %s\n",
+                   config.record_frames_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    client_options.record_frames_dir = config.record_frames_dir;
+    std::printf("net_loadgen: recording wire frames into %s\n",
+                config.record_frames_dir.c_str());
+  }
   if (config.connect.empty()) {
     prefixfilter::FilterServiceOptions service_options;
     service_options.num_threads = config.service_threads;

@@ -1,0 +1,29 @@
+// Fuzz target: the util::json parser (bench result files, baseline gates).
+//
+// Invariant beyond memory safety: a successful parse must Dump() to text
+// that reparses successfully and dumps to the same text (canonical
+// idempotence), and a failed parse must leave the output untouched and
+// produce an error message.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  prefixfilter::json::Value value;
+  std::string error;
+  if (!prefixfilter::json::Value::Parse(text, &value, &error)) {
+    if (error.empty()) __builtin_trap();  // failures must explain themselves
+    return 0;
+  }
+  const std::string dumped = value.Dump();
+  prefixfilter::json::Value reparsed;
+  std::string reparse_error;
+  if (!prefixfilter::json::Value::Parse(dumped, &reparsed, &reparse_error)) {
+    __builtin_trap();  // our own Dump() output must always parse
+  }
+  if (reparsed.Dump() != dumped) __builtin_trap();  // canonical fixed point
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzz target: the STATS-v2 metrics wire codec (src/obs/exposition.h) plus
+// the enclosing STATS payload decoder.
+//
+// DecodeMetricSamples consumes from a ByteReader mid-payload, so it must be
+// robust against arbitrary bytes AND leave the reader in a sane state.  A
+// successful decode must re-encode into bytes that decode again to the same
+// number of samples, and the Prometheus renderer must accept whatever the
+// decoder produced.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/protocol.h"
+#include "src/obs/exposition.h"
+#include "src/util/serialize.h"
+
+namespace obs = prefixfilter::obs;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Bare metrics blob.
+  {
+    prefixfilter::ByteReader r(data, size);
+    std::vector<obs::MetricSample> samples;
+    if (obs::DecodeMetricSamples(&r, &samples)) {
+      std::vector<uint8_t> encoded;
+      obs::EncodeMetricSamples(samples, &encoded);
+      prefixfilter::ByteReader r2(encoded.data(), encoded.size());
+      std::vector<obs::MetricSample> again;
+      if (!obs::DecodeMetricSamples(&r2, &again) ||
+          again.size() != samples.size()) {
+        __builtin_trap();  // decoded samples must round-trip
+      }
+      (void)obs::RenderPrometheusText(samples);
+    }
+  }
+
+  // Whole STATS payload (v1 or v2; v2 embeds a metrics blob after the
+  // legacy fields).
+  {
+    prefixfilter::net::WireStats stats;
+    if (prefixfilter::net::DecodeStatsPayload(data, size, &stats)) {
+      std::vector<uint8_t> encoded;
+      prefixfilter::net::EncodeStatsV2Response(1, stats, &encoded);
+      (void)obs::RenderPrometheusText(stats.metrics);
+    }
+  }
+  return 0;
+}

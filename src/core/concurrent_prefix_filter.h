@@ -27,7 +27,6 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +35,7 @@
 #include "src/util/aligned.h"
 #include "src/util/bits.h"
 #include "src/util/hash.h"
+#include "src/util/thread_annotations.h"
 
 namespace prefixfilter {
 
@@ -45,9 +45,9 @@ namespace internal {
 // unpadded one-byte locks pack 64 to a line, so every acquisition
 // invalidates a line shared by 64 stripes and lock traffic serializes the
 // whole table (false sharing) — the opposite of the per-bin-locking point.
-class alignas(64) SpinLock {
+class PF_CAPABILITY("mutex") alignas(64) SpinLock {
  public:
-  void lock() {
+  void lock() PF_ACQUIRE() {
     while (flag_.exchange(true, std::memory_order_acquire)) {
       while (flag_.load(std::memory_order_relaxed)) {
 #if defined(__x86_64__)
@@ -56,10 +56,27 @@ class alignas(64) SpinLock {
       }
     }
   }
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() PF_RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+// Scoped acquisition of a SpinLock the thread-safety analysis understands
+// (std::lock_guard<SpinLock> acquires inside a system header, invisible to
+// the analysis).
+class PF_SCOPED_CAPABILITY SpinLockHolder {
+ public:
+  explicit SpinLockHolder(SpinLock& lock) PF_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockHolder() PF_RELEASE() { lock_.unlock(); }
+
+  SpinLockHolder(const SpinLockHolder&) = delete;
+  SpinLockHolder& operator=(const SpinLockHolder&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace internal
@@ -116,7 +133,7 @@ class ConcurrentPrefixFilter {
     const int q = static_cast<int>(HashParts::Quotient(h, kNumLists));
     const uint8_t r = HashParts::Remainder(h);
 
-    std::lock_guard<internal::SpinLock> bin_guard(LockFor(b));
+    internal::SpinLockHolder bin_guard(LockFor(b));
     PD256& bin = bins_[b];
     if (bin.Insert(q, r)) return true;
     if (!bin.Overflowed()) bin.MarkOverflowed();
@@ -126,7 +143,7 @@ class ConcurrentPrefixFilter {
     if (fp_new <= fp_max) bin.ReplaceMax(q, r);
     const uint64_t spare_key = b * kMiniFpRange + forwarded;
     SpareShard& shard = ShardFor(spare_key);
-    std::lock_guard<std::mutex> spare_guard(shard.mutex);
+    MutexLock spare_guard(shard.mutex);
     return shard.filter.Insert(spare_key);
   }
 
@@ -136,13 +153,13 @@ class ConcurrentPrefixFilter {
     const int q = static_cast<int>(HashParts::Quotient(h, kNumLists));
     const uint8_t r = HashParts::Remainder(h);
 
-    std::lock_guard<internal::SpinLock> bin_guard(LockFor(b));
+    internal::SpinLockHolder bin_guard(LockFor(b));
     const PD256& bin = bins_[b];
     const uint16_t fp = static_cast<uint16_t>((q << 8) | r);
     if (bin.Overflowed() && fp > bin.MaxFingerprint()) {
       const uint64_t spare_key = b * kMiniFpRange + fp;
       SpareShard& shard = ShardFor(spare_key);
-      std::lock_guard<std::mutex> spare_guard(shard.mutex);
+      MutexLock spare_guard(shard.mutex);
       return shard.filter.Contains(spare_key);
     }
     return bin.Find(q, r);
@@ -152,8 +169,17 @@ class ConcurrentPrefixFilter {
   uint64_t num_bins() const { return num_bins_; }
   uint32_t spare_shards() const { return num_spare_shards_; }
   size_t SpaceBytes() const {
+    // bins_.SizeBytes() is construction-time geometry, but shard->filter is
+    // a guarded member and the annotations flagged this walk as unlocked.
+    // No backend races today (every SpaceBytes() reads fixed geometry); the
+    // locks close the exception before a future occupancy-derived spare
+    // turns it into a real race — see
+    // ConcurrentPrefixFilter.SpaceBytesConcurrentWithInserts.
     size_t total = bins_.SizeBytes();
-    for (const auto& shard : shards_) total += shard->filter.SpaceBytes();
+    for (const auto& shard : shards_) {
+      MutexLock guard(shard->mutex);
+      total += shard->filter.SpaceBytes();
+    }
     return total;
   }
   std::string Name() const {
@@ -173,8 +199,8 @@ class ConcurrentPrefixFilter {
 
   struct SpareShard {
     explicit SpareShard(Spare f) : filter(std::move(f)) {}
-    alignas(64) std::mutex mutex;
-    Spare filter;
+    alignas(64) Mutex mutex;
+    Spare filter PF_GUARDED_BY(mutex);
   };
 
   internal::SpinLock& LockFor(uint64_t bin) const {

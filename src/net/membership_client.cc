@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <unordered_map>
 #include <utility>
 
@@ -67,7 +69,26 @@ bool MembershipClient::EnsureConnected() {
 
 void MembershipClient::Fail(const std::string& message) { error_ = message; }
 
+void MembershipClient::RecordFrameBytes(const char* tag, const uint8_t* data,
+                                        size_t len) {
+  if (options_.record_frames_dir.empty() ||
+      frames_recorded_ >= options_.record_frames_limit) {
+    return;
+  }
+  // One file per frame, named uniquely per client instance so concurrent
+  // loadgen workers recording into one directory never collide.
+  char name[64];
+  std::snprintf(name, sizeof(name), "/%s-%p-%05zu.bin", tag,
+                static_cast<const void*>(this), frames_recorded_);
+  std::ofstream out(options_.record_frames_dir + name,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return;  // recording is best-effort; never fail traffic for it
+  out.write(reinterpret_cast<const char*>(data), static_cast<long>(len));
+  ++frames_recorded_;
+}
+
 bool MembershipClient::SendAll(const uint8_t* data, size_t len) {
+  RecordFrameBytes("tx", data, len);
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
@@ -89,6 +110,15 @@ bool MembershipClient::ReadFrame(Frame* frame) {
     const DecodeStatus status = decoder_.Next(frame);
     if (status == DecodeStatus::kFrame) {
       ++frames_received_;
+      if (!options_.record_frames_dir.empty()) {
+        // Re-encoding reproduces the exact wire bytes (the encoding is
+        // deterministic: fixed header layout + CRC over the payload).
+        std::vector<uint8_t> bytes;
+        AppendFrame(static_cast<Opcode>(frame->opcode), frame->flags,
+                    frame->request_id, frame->payload.data(),
+                    frame->payload.size(), &bytes);
+        RecordFrameBytes("rx", bytes.data(), bytes.size());
+      }
       return true;
     }
     if (status != DecodeStatus::kNeedMore) {

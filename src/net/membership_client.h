@@ -41,6 +41,15 @@ struct ClientOptions {
   // give the server whole windows to merge.  Clamped to >= 1.
   size_t pipeline_depth = 8;
   bool auto_reconnect = true;
+  // Non-empty: mirror every request frame this client puts on the wire and
+  // every response frame it decodes into one file per frame under this
+  // directory (which must exist) — genuine wire bytes for the fuzz seed
+  // corpora (`net_loadgen --record-frames=DIR`).  Capped per client by
+  // record_frames_limit so a long run cannot fill the disk.
+  // The explicit initializer keeps designated aggregate inits of
+  // ClientOptions clean under -Wmissing-field-initializers.
+  std::string record_frames_dir{};
+  size_t record_frames_limit = 256;
 };
 
 class MembershipClient {
@@ -107,6 +116,8 @@ class MembershipClient {
   // Validates a response frame: id echo, response flag, error flag.
   bool CheckResponse(const Frame& frame, uint64_t request_id);
   void Fail(const std::string& message);
+  // Appends one recorded frame file (see ClientOptions::record_frames_dir).
+  void RecordFrameBytes(const char* tag, const uint8_t* data, size_t len);
 
   ClientOptions options_;
   int fd_ = -1;
@@ -119,6 +130,7 @@ class MembershipClient {
   uint64_t reconnects_ = 0;
   uint64_t remote_errors_ = 0;
   uint64_t responses_reordered_ = 0;
+  size_t frames_recorded_ = 0;
 };
 
 }  // namespace prefixfilter::net

@@ -324,7 +324,7 @@ void MembershipServer::Stop() {
   if (service_ != nullptr) service_->Drain();
   for (auto& loop : loops_) {
     {
-      std::lock_guard<std::mutex> lock(loop->completions_mutex);
+      MutexLock lock(loop->completions_mutex);
       loop->completions.clear();
     }
     for (auto& [fd, conn] : loop->connections) {
@@ -419,7 +419,7 @@ void MembershipServer::LoopRun(Loop& loop) {
   // flight past the deadline is dropped by Stop() after the pool drains.
   // steady_clock directly (not obs::NowNanos) — the deadline must work
   // with observability compiled out.
-  const auto deadline =
+  const auto deadline =  // pf-lint: allow(steady-clock)
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
   for (;;) {
     DrainCompletions(loop);
@@ -431,6 +431,7 @@ void MembershipServer::LoopRun(Loop& loop) {
         break;
       }
     }
+    // Same shutdown deadline as above.  // pf-lint: allow(steady-clock)
     if (!inflight || std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -444,9 +445,11 @@ void MembershipServer::AcceptAll(Loop& loop, int listen_fd, bool is_http) {
   const bool shared = !loop.owns_listen_fd && loops_.size() > 1 && !is_http;
   for (;;) {
     int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(accept_mutex_, std::defer_lock);
-      if (shared) lock.lock();
+    if (shared) {
+      MutexLock lock(accept_mutex_);
+      fd = ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    } else {
       fd = ::accept4(listen_fd, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     }
@@ -768,7 +771,7 @@ void MembershipServer::FlushQueries(
          comp = std::move(comp)](std::vector<uint8_t> results) mutable {
           comp.results = std::move(results);
           {
-            std::lock_guard<std::mutex> lock(owner->completions_mutex);
+            MutexLock lock(owner->completions_mutex);
             owner->completions.push_back(std::move(comp));
           }
           const char byte = 1;
@@ -803,7 +806,7 @@ void MembershipServer::FlushQueries(
 void MembershipServer::DrainCompletions(Loop& loop) {
   std::vector<Completion> completions;
   {
-    std::lock_guard<std::mutex> lock(loop.completions_mutex);
+    MutexLock lock(loop.completions_mutex);
     completions.swap(loop.completions);
   }
   for (Completion& comp : completions) {

@@ -43,7 +43,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -53,6 +52,7 @@
 #include "src/net/protocol.h"
 #include "src/obs/metrics.h"
 #include "src/service/filter_service.h"
+#include "src/util/thread_annotations.h"
 
 namespace prefixfilter::net {
 
@@ -209,8 +209,9 @@ class MembershipServer {
   };
 
   // Everything one event-loop thread owns.  Only that thread touches the
-  // poller and connection maps; `completions` is the single cross-thread
-  // handoff point (mutex + wakeup pipe).
+  // poller and connection maps (single-owner discipline, not a mutex —
+  // Stop() reads them only after joining the thread); `completions` is the
+  // single cross-thread handoff point (mutex + wakeup pipe).
   struct Loop {
     uint32_t index = 0;
     std::unique_ptr<Poller> poller;
@@ -222,8 +223,8 @@ class MembershipServer {
     int wake_read_fd = -1;
     int wake_write_fd = -1;
     std::thread thread;
-    std::mutex completions_mutex;
-    std::vector<Completion> completions;
+    Mutex completions_mutex;
+    std::vector<Completion> completions PF_GUARDED_BY(completions_mutex);
   };
 
   // Per-loop traffic counters behind the loop=<i> metric labels.  Fixed at
@@ -270,7 +271,7 @@ class MembershipServer {
   std::vector<std::unique_ptr<Loop>> loops_;
   std::vector<std::unique_ptr<LoopTraffic>> loop_traffic_;
   bool reuseport_active_ = false;
-  std::mutex accept_mutex_;  // shared-accept fallback only
+  Mutex accept_mutex_;  // shared-accept fallback only
   uint16_t port_ = 0;
   uint16_t http_port_ = 0;
   std::string error_;

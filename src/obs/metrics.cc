@@ -146,7 +146,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
                                                   MetricKind kind) {
   std::sort(labels.begin(), labels.end());
   const std::string key = EntryKey(kind, name, labels);
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   Entry& entry = entries_[key];
   if (entry.name.empty()) {
     entry.name = name;
@@ -186,7 +186,7 @@ uint64_t MetricsRegistry::AddCollector(CollectFn fn) {
   (void)fn;
   return 0;
 #else
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   const uint64_t id = next_collector_id_++;
   collectors_[id] = std::move(fn);
   return id;
@@ -198,7 +198,7 @@ void MetricsRegistry::RemoveCollector(uint64_t id) {
   // Holding the mutex here serializes removal against Collect(), so once
   // RemoveCollector returns the callback can never run again — the owner's
   // destructor may safely free the state it reads.
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   collectors_.erase(id);
 }
 
@@ -208,7 +208,7 @@ std::vector<MetricSample> MetricsRegistry::Collect() const {
   return samples;
 #else
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     samples.reserve(entries_.size());
     for (const auto& [key, entry] : entries_) {
       MetricSample s;

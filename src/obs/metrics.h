@@ -30,10 +30,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace prefixfilter::obs {
 
@@ -241,14 +242,14 @@ class MetricsRegistry {
   // Registers a scrape-time callback; returns an id for RemoveCollector.
   // The callback must not call back into the registry.  Owners MUST remove
   // their collector before the state it reads dies (destructors do).
-  uint64_t AddCollector(CollectFn fn);
-  void RemoveCollector(uint64_t id);
+  uint64_t AddCollector(CollectFn fn) PF_EXCLUDES(mutex_);
+  void RemoveCollector(uint64_t id) PF_EXCLUDES(mutex_);
 
   // Evaluates every instrument and collector into one sorted sample list.
   // Duplicate (name, labels, kind) series — e.g. two service instances
   // sharing the registry — are aggregated (sums for scalars, bucket merge
   // for histograms).  Empty when the subsystem is compiled out.
-  std::vector<MetricSample> Collect() const;
+  std::vector<MetricSample> Collect() const PF_EXCLUDES(mutex_);
 
   // The default process-wide registry.
   static MetricsRegistry& Global();
@@ -263,12 +264,16 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
-  Entry& GetEntry(const std::string& name, Labels&& labels, MetricKind kind);
+  Entry& GetEntry(const std::string& name, Labels&& labels, MetricKind kind)
+      PF_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  // key: kind + name + sorted labels
-  std::map<uint64_t, CollectFn> collectors_;
-  uint64_t next_collector_id_ = 1;
+  mutable Mutex mutex_;
+  // key: kind + name + sorted labels.  Entries are created under the lock
+  // but the instruments they own are updated lock-free (atomics); the lock
+  // guards the maps, not the instrument payloads.
+  std::map<std::string, Entry> entries_ PF_GUARDED_BY(mutex_);
+  std::map<uint64_t, CollectFn> collectors_ PF_GUARDED_BY(mutex_);
+  uint64_t next_collector_id_ PF_GUARDED_BY(mutex_) = 1;
 };
 
 // Finds a sample by name (and optionally one label pair) in a Collect()

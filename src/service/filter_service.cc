@@ -97,27 +97,25 @@ void FilterService::Enqueue(Request request) {
     return;
   }
   request.enqueue_ns = obs::NowNanos();
+  bool queued = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) {
-      // The pool is gone; degrade to synchronous execution rather than
-      // dropping the batch or deadlocking the submitter.
-      lock.unlock();
-      Execute(request);
-      return;
+    MutexLock lock(mutex_);
+    while (!stopping_ && queue_.size() >= max_pending_) {
+      queue_nonfull_.Wait(mutex_);
     }
-    queue_nonfull_.wait(lock, [this]() {
-      return stopping_ || queue_.size() < max_pending_;
-    });
-    if (stopping_) {
-      lock.unlock();
-      Execute(request);
-      return;
+    if (!stopping_) {
+      queue_.push_back(std::move(request));
+      queued = true;
     }
-    queue_.push_back(std::move(request));
+  }
+  if (!queued) {
+    // The pool is gone; degrade to synchronous execution rather than
+    // dropping the batch or deadlocking the submitter.
+    Execute(request);
+    return;
   }
   queue_depth_gauge_->Add(1);
-  queue_nonempty_.notify_one();
+  queue_nonempty_.NotifyOne();
 }
 
 void FilterService::Execute(Request& request) {
@@ -138,7 +136,7 @@ void FilterService::Execute(Request& request) {
 uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
   obs::ScopedLatency timer(insert_exec_hist_);
   insert_batch_keys_hist_->Record(count);
-  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  ReaderMutexLock snapshot_guard(snapshot_mutex_);
   const uint64_t failures = filter_->InsertBatch(keys, count);
   insert_batches_.fetch_add(1, std::memory_order_relaxed);
   keys_inserted_.fetch_add(count, std::memory_order_relaxed);
@@ -151,14 +149,14 @@ void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
   if (query_fault_hook_armed_.load(std::memory_order_acquire)) {
     std::function<void(const uint64_t*, size_t)> hook;
     {
-      std::lock_guard<std::mutex> lock(query_fault_hook_mutex_);
+      MutexLock lock(query_fault_hook_mutex_);
       hook = query_fault_hook_;
     }
     if (hook) hook(keys, count);
   }
   obs::ScopedLatency timer(query_exec_hist_);
   query_batch_keys_hist_->Record(count);
-  std::shared_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  ReaderMutexLock snapshot_guard(snapshot_mutex_);
   QueryLocked(keys, count, out);
   query_batches_.fetch_add(1, std::memory_order_relaxed);
   keys_queried_.fetch_add(count, std::memory_order_relaxed);
@@ -240,9 +238,8 @@ void FilterService::WorkerLoop() {
   for (;;) {
     Request request;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_nonempty_.wait(lock,
-                           [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) queue_nonempty_.Wait(mutex_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -253,20 +250,20 @@ void FilterService::WorkerLoop() {
     }
     queue_depth_gauge_->Add(-1);
     queue_wait_hist_->Record(obs::NowNanos() - request.enqueue_ns);
-    queue_nonfull_.notify_one();
+    queue_nonfull_.NotifyOne();
     Execute(request);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
 
 void FilterService::Drain() {
   if (num_threads_ == 0) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) idle_.Wait(mutex_);
 }
 
 bool FilterService::Snapshot(std::vector<uint8_t>* out) {
@@ -275,7 +272,7 @@ bool FilterService::Snapshot(std::vector<uint8_t>* out) {
   // otherwise be acknowledged yet only partially captured (its keys in
   // already-serialized shards silently dropped — false negatives after
   // Restore).  Held only for the serialization itself.
-  std::unique_lock<std::shared_mutex> snapshot_guard(snapshot_mutex_);
+  WriterMutexLock snapshot_guard(snapshot_mutex_);
   return filter_->SerializeTo(out);
 }
 
@@ -302,7 +299,7 @@ FilterServiceStats FilterService::stats() const {
 
 void FilterService::SetQueryFaultHookForTesting(
     std::function<void(const uint64_t* keys, size_t count)> hook) {
-  std::lock_guard<std::mutex> lock(query_fault_hook_mutex_);
+  MutexLock lock(query_fault_hook_mutex_);
   query_fault_hook_ = std::move(hook);
   query_fault_hook_armed_.store(query_fault_hook_ != nullptr,
                                 std::memory_order_release);
@@ -312,11 +309,11 @@ void FilterService::Stop() {
   {
     // Idempotent: on a second call workers_ is already empty and the joins
     // below are no-ops.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  queue_nonempty_.notify_all();
-  queue_nonfull_.notify_all();
+  queue_nonempty_.NotifyAll();
+  queue_nonfull_.NotifyAll();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

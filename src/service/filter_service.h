@@ -21,19 +21,17 @@
 #define PREFIXFILTER_SRC_SERVICE_FILTER_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/service/front_cache.h"
 #include "src/service/sharded_filter.h"
+#include "src/util/thread_annotations.h"
 
 namespace prefixfilter {
 
@@ -114,14 +112,15 @@ class FilterService {
   bool Contains(uint64_t key) const;
 
   // Blocks until every previously submitted batch has completed.
-  void Drain();
+  void Drain() PF_EXCLUDES(mutex_);
 
   // Drains, then appends a restorable snapshot of all shards, holding a
   // service-wide write exclusion while serializing so every batch whose
   // future resolved before the call is fully in the image (batches submitted
   // concurrently land entirely before or entirely after it — never half).
   // Returns false if any shard lacks a wire format.
-  bool Snapshot(std::vector<uint8_t>* out);
+  bool Snapshot(std::vector<uint8_t>* out)
+      PF_EXCLUDES(mutex_, snapshot_mutex_);
 
   // Restores the sharded filter from a Snapshot() image (nullptr on
   // corruption or non-sharded images); wrap it in a new FilterService.
@@ -135,7 +134,7 @@ class FilterService {
 
   // Completes queued work and joins the workers.  Idempotent; batches
   // submitted after Stop() execute synchronously.
-  void Stop();
+  void Stop() PF_EXCLUDES(mutex_);
 
   // Test-only fault injection: when set, the hook runs on the executing
   // thread at the top of every query batch (before the filter is touched),
@@ -144,7 +143,8 @@ class FilterService {
   // deterministic.  Guarded by a mutex on both sides, so it may be installed
   // or cleared while traffic is flowing.  Pass nullptr to clear.
   void SetQueryFaultHookForTesting(
-      std::function<void(const uint64_t* keys, size_t count)> hook);
+      std::function<void(const uint64_t* keys, size_t count)> hook)
+      PF_EXCLUDES(query_fault_hook_mutex_);
 
  private:
   struct Request {
@@ -159,13 +159,14 @@ class FilterService {
     uint64_t enqueue_ns = 0;
   };
 
-  void Enqueue(Request request);
+  void Enqueue(Request request) PF_EXCLUDES(mutex_);
   void Execute(Request& request);
-  void WorkerLoop();
+  void WorkerLoop() PF_EXCLUDES(mutex_);
   // Query path shared by Execute and QueryBatchSync: front-cache lookup,
   // batch the misses through the filter, populate the cache with fresh
   // positives.  Caller holds the snapshot shared lock.
-  void QueryLocked(const uint64_t* keys, size_t count, uint8_t* out);
+  void QueryLocked(const uint64_t* keys, size_t count, uint8_t* out)
+      PF_REQUIRES_SHARED(snapshot_mutex_);
 
   std::shared_ptr<ShardedFilter> filter_;
   uint32_t num_threads_;
@@ -175,15 +176,17 @@ class FilterService {
   // Batch execution takes this shared; Snapshot takes it exclusive while
   // serializing.  Direct filter() access bypasses it by design (shard locks
   // still make such access safe, just not snapshot-atomic).
-  mutable std::shared_mutex snapshot_mutex_;
+  mutable SharedMutex snapshot_mutex_;
 
-  std::mutex mutex_;
-  std::condition_variable queue_nonempty_;
-  std::condition_variable queue_nonfull_;
-  std::condition_variable idle_;
-  std::deque<Request> queue_;
-  size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar queue_nonempty_;
+  CondVar queue_nonfull_;
+  CondVar idle_;
+  std::deque<Request> queue_ PF_GUARDED_BY(mutex_);
+  size_t in_flight_ PF_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PF_GUARDED_BY(mutex_) = false;
+  // Written by the constructor before any concurrency exists, then read only
+  // by Stop() after the stopping_ handshake — not guarded by mutex_.
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> insert_batches_{0};
@@ -199,8 +202,9 @@ class FilterService {
   // atomic flag keeps the disabled hot path to one relaxed load; the mutex
   // makes install/clear safe against in-flight batches.
   std::atomic<bool> query_fault_hook_armed_{false};
-  mutable std::mutex query_fault_hook_mutex_;
-  std::function<void(const uint64_t*, size_t)> query_fault_hook_;
+  mutable Mutex query_fault_hook_mutex_;
+  std::function<void(const uint64_t*, size_t)> query_fault_hook_
+      PF_GUARDED_BY(query_fault_hook_mutex_);
 
   // Observability: histograms/gauges resolved once at construction, updated
   // lock-free on the request path; the counters above reach the registry

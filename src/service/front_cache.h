@@ -19,7 +19,11 @@
 //    observable answers are bit-identical with and without the cache).
 //  * Thread-safe via relaxed atomics.  Races lose an insert or serve a miss
 //    at worst; they never fabricate a hit for a different key because a hit
-//    requires an exact 64-bit key match in the slot.
+//    requires an exact 64-bit key match in the slot.  Deliberately carries
+//    no PF_GUARDED_BY annotations: there is no mutex capability here — the
+//    whole structure is a single atomic array, and the thread-safety
+//    analysis (src/util/thread_annotations.h) has nothing to prove beyond
+//    what the std::atomic types already guarantee.
 //  * One reserved sentinel (the all-ones key) marks empty slots; that single
 //    key is simply never cached.
 #ifndef PREFIXFILTER_SRC_SERVICE_FRONT_CACHE_H_

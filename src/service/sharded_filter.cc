@@ -80,9 +80,13 @@ std::unique_ptr<ShardedFilter> ShardedFilter::Make(
     // (independent hash functions), as if it served its slice alone.
     const uint64_t shard_seed =
         filter->options_.seed ^ Mix64(filter->shard_salt_ + s);
-    filter->shards_[s]->filter = MakeFilter(
-        filter->options_.backend, filter->per_shard_capacity_, shard_seed);
-    if (filter->shards_[s]->filter == nullptr) return nullptr;
+    // The filter is not yet published, so the lock is uncontended; taking it
+    // anyway satisfies the guarded_by proof without an analysis exception.
+    Shard& shard = *filter->shards_[s];
+    MutexLock guard(shard.mutex);
+    shard.filter = MakeFilter(filter->options_.backend,
+                              filter->per_shard_capacity_, shard_seed);
+    if (shard.filter == nullptr) return nullptr;
   }
   return filter;
 }
@@ -122,7 +126,7 @@ bool ShardedFilter::ParseName(const std::string& name,
 
 bool ShardedFilter::Insert(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> guard(shard.mutex);
+  MutexLock guard(shard.mutex);
   ++shard.stats.inserts;
   if (shard.filter->Insert(key)) return true;
   ++shard.stats.insert_failures;
@@ -131,7 +135,7 @@ bool ShardedFilter::Insert(uint64_t key) {
 
 bool ShardedFilter::Contains(uint64_t key) const {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> guard(shard.mutex);
+  MutexLock guard(shard.mutex);
   ++shard.stats.queries;
   const bool hit = shard.filter->Contains(key);
   shard.stats.hits += hit;
@@ -167,7 +171,7 @@ void ShardedFilter::QueryShard(uint32_t shard_index, const uint64_t* keys,
   // branch.
   if (group_keys_hist_ != nullptr) group_keys_hist_->Record(count);
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> guard(shard.mutex);
+  MutexLock guard(shard.mutex);
   shard.filter->ContainsBatch(keys, count, out);
   shard.stats.queries += count;
   uint64_t hits = 0;
@@ -179,7 +183,7 @@ uint64_t ShardedFilter::InsertShard(uint32_t shard_index,
                                     const uint64_t* keys, size_t count) {
   if (group_keys_hist_ != nullptr) group_keys_hist_->Record(count);
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> guard(shard.mutex);
+  MutexLock guard(shard.mutex);
   shard.stats.inserts += count;
   // One devirtualized batch call per shard group: the adapter's concrete
   // insert loop runs under the lock instead of count virtual Inserts.
@@ -214,7 +218,7 @@ bool ShardedFilter::SerializeTo(std::vector<uint8_t>* out) const {
   for (uint32_t s = 0; s < num_shards_; ++s) {
     Shard& shard = *shards_[s];
     blob.clear();
-    std::lock_guard<std::mutex> guard(shard.mutex);
+    MutexLock guard(shard.mutex);
     if (!shard.filter->SerializeTo(&blob)) return false;
     w.U64(shard.stats.inserts);
     w.U64(shard.stats.insert_failures);
@@ -264,9 +268,14 @@ std::unique_ptr<AnyFilter> ShardedFilter::DeserializePayload(
     // Each shard blob must be an envelope for the declared backend; a valid
     // envelope of a *different* configuration is corruption, not a shard.
     if (PeekEnvelopeName(blob, blob_len) != backend) return nullptr;
-    filter->shards_[s]->filter = DeserializeFilter(blob, blob_len);
-    if (filter->shards_[s]->filter == nullptr) return nullptr;
-    filter->shards_[s]->stats = stats;
+    {
+      // Unpublished filter: uncontended lock, same reasoning as Make().
+      Shard& shard = *filter->shards_[s];
+      MutexLock guard(shard.mutex);
+      shard.filter = DeserializeFilter(blob, blob_len);
+      if (shard.filter == nullptr) return nullptr;
+      shard.stats = stats;
+    }
     r.Skip(blob_len);
   }
   if (!r.ok() || r.remaining() != 0) return nullptr;
@@ -274,8 +283,17 @@ std::unique_ptr<AnyFilter> ShardedFilter::DeserializePayload(
 }
 
 size_t ShardedFilter::SpaceBytes() const {
+  // Takes each shard lock: the annotations surfaced that this walked
+  // shard->filter (a guarded member) unlocked.  Today every backend's
+  // SpaceBytes() reads construction-time geometry, so nothing races yet —
+  // but the unlocked walk was one occupancy-derived backend away from a
+  // silent data race, and it is exactly the kind of exception the analysis
+  // exists to forbid.  See ShardedFilter.SpaceBytesConcurrentWithInserts.
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->filter->SpaceBytes();
+  for (const auto& shard : shards_) {
+    MutexLock guard(shard->mutex);
+    total += shard->filter->SpaceBytes();
+  }
   return total;
 }
 
@@ -326,7 +344,7 @@ void ShardedFilter::EnableMetrics(obs::MetricsRegistry* registry) {
 
 ShardStats ShardedFilter::shard_stats(uint32_t shard_index) const {
   const Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> guard(shard.mutex);
+  MutexLock guard(shard.mutex);
   return shard.stats;
 }
 

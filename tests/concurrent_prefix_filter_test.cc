@@ -115,5 +115,41 @@ TEST(ConcurrentPrefixFilter, FprComparableToSequential) {
   EXPECT_LT(rate, 0.006);
 }
 
+// Regression for a lock-discipline gap the thread-safety annotations
+// surfaced: SpaceBytes() summed the spare shards (guarded members) without
+// their locks.  The read is geometry-only today, so this pins the
+// reader-visible contract (bins geometry is a fixed floor, readings never
+// decrease during an insert-only workload) and gives the TSan CI leg a
+// tripwire should the spare ever grow in place.
+TEST(ConcurrentPrefixFilter, SpaceBytesConcurrentWithInserts) {
+  const uint64_t n = 200000;
+  const auto keys = RandomKeys(n, 167);
+  ConcurrentPrefixFilter<SpareCf12Traits> pf(n);
+
+  const size_t empty_space = pf.SpaceBytes();
+  ASSERT_GT(empty_space, 0u);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread observer([&]() {
+    size_t last = empty_space;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t now = pf.SpaceBytes();
+      if (now < last || now < empty_space) violations.fetch_add(1);
+      last = now;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t]() {
+      for (uint64_t i = t; i < n; i += 2) pf.Insert(keys[i]);
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  observer.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GE(pf.SpaceBytes(), empty_space);
+}
+
 }  // namespace
 }  // namespace prefixfilter

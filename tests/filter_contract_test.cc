@@ -75,8 +75,8 @@ TEST_P(FilterContractTest, SpaceAccountingSane) {
 INSTANTIATE_TEST_SUITE_P(
     AllFilters, FilterContractTest,
     ::testing::ValuesIn(KnownFilterNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

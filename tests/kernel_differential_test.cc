@@ -321,12 +321,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(kDiffFilterNames),
                        ::testing::ValuesIn(kSeeds)),
     [](const ::testing::TestParamInfo<std::tuple<const char*, uint64_t>>&
-           info) {
-      std::string name = std::get<0>(info.param);
+           param_info) {
+      std::string name = std::get<0>(param_info.param);
       for (auto& c : name) {
         if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
       }
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
 // --- golden digests: cross-build bit-for-bit parity -------------------------

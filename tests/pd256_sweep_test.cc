@@ -76,9 +76,9 @@ INSTANTIATE_TEST_SUITE_P(
     OccupancyBySeed, Pd256OccupancySweep,
     ::testing::Combine(::testing::Values(0, 1, 2, 5, 12, 20, 24, 25),
                        ::testing::Values(11, 22, 33)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "t" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "t" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class Pd256SingleListSweep : public ::testing::TestWithParam<int> {};

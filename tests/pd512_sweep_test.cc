@@ -60,9 +60,9 @@ INSTANTIATE_TEST_SUITE_P(
     OccupancyBySeed, Pd512OccupancySweep,
     ::testing::Combine(::testing::Values(0, 1, 7, 24, 40, 47, 48),
                        ::testing::Values(19, 29)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "t" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "t" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class Pd512BoundaryLists : public ::testing::TestWithParam<int> {};

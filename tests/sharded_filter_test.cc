@@ -250,5 +250,41 @@ TEST(ShardedFilter, FastPathsAgreeWithRoutedPathAndKeepStats) {
   EXPECT_EQ(sharded2->TotalStats().inserts, 1u);
 }
 
+// Regression for a lock-discipline gap the thread-safety annotations
+// surfaced: SpaceBytes() walked shard->filter (a guarded member) without
+// the shard locks.  Today that read is geometry-only, so this test pins
+// the contract the fix restores — SpaceBytes taken concurrently with
+// inserts always returns the same sane value — and, under the TSan CI
+// leg, will flag any future SpaceBytes implementation that derives from
+// occupancy state if the locks are ever dropped again.
+TEST(ShardedFilter, SpaceBytesConcurrentWithInserts) {
+  const uint64_t n = 120000;
+  ShardedFilterOptions options;
+  options.num_shards = 8;
+  options.backend = "PF[CF12-Flex]";
+  options.seed = 191;
+  auto filter = ShardedFilter::Make(n, options);
+  ASSERT_NE(filter, nullptr);
+  const auto keys = RandomKeys(n, 192);
+
+  const size_t empty_space = filter->SpaceBytes();
+  ASSERT_GT(empty_space, 0u);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread observer([&]() {
+    size_t last = empty_space;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t now = filter->SpaceBytes();
+      if (now < last || now == 0) violations.fetch_add(1);
+      last = now;
+    }
+  });
+  filter->InsertBatch(keys.data(), keys.size());
+  stop.store(true);
+  observer.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GE(filter->SpaceBytes(), empty_space);
+}
+
 }  // namespace
 }  // namespace prefixfilter

@@ -1,0 +1,12 @@
+// Fixture: a direct monotonic-clock read — steady-clock fires everywhere in
+// src/ except src/obs/.
+#include <chrono>
+
+namespace prefixfilter {
+
+uint64_t Tick() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace prefixfilter

@@ -1,0 +1,10 @@
+// Fixture: steady_clock appears only in comments (like this one and the
+// next) — prose must never trip the steady-clock rule.
+#include <cstdint>
+
+namespace prefixfilter {
+
+// We deliberately avoid std::chrono::steady_clock here; see obs::NowNanos.
+uint64_t Tick() { return 0; }
+
+}  // namespace prefixfilter

@@ -1,0 +1,13 @@
+// Fixture: the same clock read with an inline justification + suppression —
+// steady-clock must stay quiet.
+#include <chrono>
+
+namespace prefixfilter {
+
+uint64_t Tick() {
+  // Deadline must work with observability compiled out.
+  return static_cast<uint64_t>(  // pf-lint: allow(steady-clock)
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace prefixfilter

@@ -1,0 +1,33 @@
+// Fixture: Counter::Add() mutates without a PF_OBS_DISABLED guard (BAD);
+// Histogram::Record() is guarded (GOOD) so only one violation fires.
+#include <atomic>
+
+namespace prefixfilter::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+#ifndef PF_OBS_DISABLED
+    count_.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace prefixfilter::obs

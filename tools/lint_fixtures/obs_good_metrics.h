@@ -1,0 +1,45 @@
+// Fixture: every update method compiles out under PF_OBS=OFF; Value() is a
+// read and needs no guard.
+#include <atomic>
+
+namespace prefixfilter::obs {
+
+inline uint64_t NowNanos() {
+#ifdef PF_OBS_DISABLED
+  return 0;
+#else
+  return 42;
+#endif
+}
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#ifndef PF_OBS_DISABLED
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) {
+#ifndef PF_OBS_DISABLED
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+}  // namespace prefixfilter::obs

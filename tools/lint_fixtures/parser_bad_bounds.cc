@@ -1,0 +1,20 @@
+// Fixture: a decode function that raw-reads the payload with no length
+// check anywhere before it — wire-bounds-check must fire exactly once.
+#include <cstdint>
+#include <cstring>
+
+namespace prefixfilter::net {
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool DecodeThing(const uint8_t* payload, size_t len, uint32_t* out) {
+  *out = GetU32(payload);
+  (void)len;
+  return true;
+}
+
+}  // namespace prefixfilter::net

@@ -1,0 +1,27 @@
+// Fixture: the first function checks bounds, the second does not — the
+// guard must not leak across function boundaries (one violation, in
+// DecodeSecond).
+#include <cstdint>
+#include <cstring>
+
+namespace prefixfilter::net {
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool DecodeFirst(const uint8_t* payload, size_t len, uint32_t* out) {
+  if (len < 4) return false;
+  *out = GetU32(payload);
+  return true;
+}
+
+bool DecodeSecond(const uint8_t* payload, size_t len, uint32_t* out) {
+  *out = GetU32(payload);
+  (void)len;
+  return true;
+}
+
+}  // namespace prefixfilter::net

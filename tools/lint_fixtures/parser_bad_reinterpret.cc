@@ -1,0 +1,13 @@
+// Fixture: type-punning wire bytes with reinterpret_cast —
+// parser-reinterpret-cast must fire when this lands in a parser file.
+#include <cstdint>
+
+namespace prefixfilter::net {
+
+bool DecodeThing(const uint8_t* payload, size_t len, uint32_t* out) {
+  if (len < 4) return false;
+  *out = *reinterpret_cast<const uint32_t*>(payload);
+  return true;
+}
+
+}  // namespace prefixfilter::net

@@ -1,0 +1,14 @@
+// Fixture: a suppression for a DIFFERENT rule must not silence the
+// reinterpret_cast violation.
+#include <cstdint>
+
+namespace prefixfilter::net {
+
+bool DecodeThing(const uint8_t* payload, size_t len, uint32_t* out) {
+  if (len < 4) return false;
+  // pf-lint: allow(steady-clock)
+  *out = *reinterpret_cast<const uint32_t*>(payload);
+  return true;
+}
+
+}  // namespace prefixfilter::net

@@ -1,0 +1,20 @@
+// Fixture: memcpy-based read helpers plus a decode function whose raw reads
+// all follow a bounds check.  Clean under every parser rule.
+#include <cstdint>
+#include <cstring>
+
+namespace prefixfilter::net {
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool DecodeThing(const uint8_t* payload, size_t len, uint32_t* out) {
+  if (len < 8) return false;
+  *out = GetU32(payload) + GetU32(payload + 4);
+  return true;
+}
+
+}  // namespace prefixfilter::net
