@@ -71,6 +71,11 @@ struct LoadgenConfig {
   // (created if missing) — raw material for the fuzz seed corpora; see
   // fuzz/make_seed_corpus.cc.
   std::string record_frames_dir;
+  // --trace-sample=RATE: every query client samples that fraction of its
+  // QUERY_BATCH frames with a wire trace context (after negotiating the
+  // capability), and a self-hosted run appends a trace-overhead A/B row
+  // comparing untraced vs sampled throughput.
+  double trace_sample = 0.0;
 };
 
 // Per-thread query-phase result.
@@ -81,6 +86,7 @@ struct WorkerResult {
   uint64_t false_negatives = 0;
   uint64_t false_positives = 0;
   uint64_t negatives = 0;  // ground-truth absent (FPR denominator)
+  uint64_t frames_traced = 0;
   std::vector<double> chunk_ns;
 };
 
@@ -119,6 +125,7 @@ void RunQuerySlice(const net::ClientOptions& client_options,
     result->error = "server returned error frames: " + client.error();
     return;
   }
+  result->frames_traced = client.frames_traced();
   result->ok = true;
 }
 
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
       config.workloads = bench::SplitCsv(arg.substr(12));
     } else if (arg.rfind("--record-frames=", 0) == 0) {
       config.record_frames_dir = arg.substr(16);
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      config.trace_sample = std::atof(arg.c_str() + 15);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_net_loadgen [--quick] [--n-log2=L] [--seed=S]\n"
@@ -163,13 +172,15 @@ int main(int argc, char** argv) {
           "         [--threads=T] [--server-threads=N[,N...]]\n"
           "         [--connections=C] [--batch=B] [--depth=D]\n"
           "         [--front-cache=SLOTS] [--workloads=a,b,...]\n"
-          "         [--record-frames=DIR]\n"
+          "         [--record-frames=DIR] [--trace-sample=RATE]\n"
           "Self-hosts an in-process loopback server unless --connect is\n"
           "given.  --server-threads sets the server's event-loop count\n"
           "(SO_REUSEPORT loop-per-core); a CSV list additionally runs a\n"
           "scaling sweep emitting one net-scaling,loops=N row per count.\n"
-          "Workloads must share one insert stream (any standard workload\n"
-          "except disjoint-negative).\n");
+          "--trace-sample=RATE marks that fraction of query frames with a\n"
+          "wire trace context (self-hosted runs add a trace-overhead A/B\n"
+          "row).  Workloads must share one insert stream (any standard\n"
+          "workload except disjoint-negative).\n");
       return 0;
     } else {
       passthrough.push_back(argv[i]);
@@ -214,6 +225,7 @@ int main(int argc, char** argv) {
   net::ClientOptions client_options;
   client_options.max_batch_keys = config.batch;
   client_options.pipeline_depth = config.depth;
+  client_options.trace_sample_rate = config.trace_sample;
   if (!config.record_frames_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config.record_frames_dir, ec);
@@ -336,6 +348,7 @@ int main(int argc, char** argv) {
 
     bench::PhaseStats query_stats;
     uint64_t false_negatives = 0, false_positives = 0, negatives = 0;
+    uint64_t frames_traced = 0;
     std::vector<double> chunk_ns;
     for (const WorkerResult& r : results) {
       if (!r.ok) {
@@ -347,6 +360,7 @@ int main(int argc, char** argv) {
       false_negatives += r.false_negatives;
       false_positives += r.false_positives;
       negatives += r.negatives;
+      frames_traced += r.frames_traced;
       chunk_ns.insert(chunk_ns.end(), r.chunk_ns.begin(), r.chunk_ns.end());
     }
     query_stats.seconds = seconds;
@@ -373,6 +387,9 @@ int main(int argc, char** argv) {
     metrics.Set("connections", threads);
     metrics.Set("batch_keys", static_cast<uint64_t>(config.batch));
     metrics.Set("pipeline_depth", static_cast<uint64_t>(config.depth));
+    if (config.trace_sample > 0) {
+      metrics.Set("frames_traced", frames_traced);
+    }
     std::printf("  %-17s %8.2f Mops/s  p50 %7.0f ns/op  p99 %7.0f ns/op"
                 "  fpr %.5f%%  (%d conns)\n",
                 stream.spec.name.c_str(), query_stats.Mops(),
@@ -464,6 +481,64 @@ int main(int argc, char** argv) {
                   scrape.metrics.size());
     }
     runner.Add(before.filter_name, "server-metrics", std::move(metrics));
+  }
+
+  // --- tracing overhead A/B (--trace-sample, self-host only) ----------------
+  // Two passes over the first workload against the already-loaded server:
+  // untraced clients, then clients sampling at the configured rate.  The
+  // delta is the whole cost of tracing at that rate — context encoding,
+  // negotiation, server-side span capture — emitted as one trace-overhead
+  // row (informational, not gated: loopback A/Bs are noisy).
+  if (config.connect.empty() && config.trace_sample > 0) {
+    const workload::Stream& stream = streams.front();
+    const int threads = std::max(1, config.connections);
+    const size_t per_thread = stream.queries.size() / threads;
+    double pass_mops[2] = {0.0, 0.0};
+    uint64_t ab_frames_traced = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      net::ClientOptions ab_options = client_options;
+      ab_options.trace_sample_rate = pass == 0 ? 0.0 : config.trace_sample;
+      std::vector<WorkerResult> results(threads);
+      std::vector<std::thread> pool;
+      bench::Timer wall;
+      for (int t = 0; t < threads; ++t) {
+        const size_t begin = t * per_thread;
+        const size_t end =
+            t == threads - 1 ? stream.queries.size() : begin + per_thread;
+        pool.emplace_back(RunQuerySlice, ab_options, std::cref(stream),
+                          begin, end, &results[t]);
+      }
+      for (auto& th : pool) th.join();
+      const double seconds = wall.Seconds();
+      bench::PhaseStats ab_stats;
+      for (const WorkerResult& r : results) {
+        if (!r.ok) {
+          std::fprintf(stderr, "net_loadgen: trace A/B worker failed: %s\n",
+                       r.error.c_str());
+          failed = true;
+        }
+        ab_stats.ops += r.keys;
+        if (pass == 1) ab_frames_traced += r.frames_traced;
+      }
+      ab_stats.seconds = seconds;
+      pass_mops[pass] = ab_stats.Mops();
+    }
+    const double overhead_pct =
+        pass_mops[1] > 0.0
+            ? 100.0 * (pass_mops[0] - pass_mops[1]) / pass_mops[0]
+            : 0.0;
+    prefixfilter::json::Value metrics = prefixfilter::json::Value::MakeObject();
+    metrics.Set("sample_rate", config.trace_sample);
+    metrics.Set("baseline_mops", pass_mops[0]);
+    metrics.Set("traced_mops", pass_mops[1]);
+    metrics.Set("overhead_pct", overhead_pct);
+    metrics.Set("frames_traced", ab_frames_traced);
+    std::printf("  trace-overhead    base %8.2f Mops/s  sampled %8.2f "
+                "Mops/s  (%.1f%% overhead at rate %.4f, %" PRIu64
+                " traced frames)\n",
+                pass_mops[0], pass_mops[1], overhead_pct, config.trace_sample,
+                ab_frames_traced);
+    runner.Add(before.filter_name, "trace-overhead", std::move(metrics));
   }
 
   // --- multi-loop scaling sweep (--server-threads=CSV, self-host only) ------

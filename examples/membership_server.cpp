@@ -10,12 +10,15 @@
 //
 //   build/example_membership_server --serve [--port=P] [--filter=NAME]
 //       [--capacity=N] [--threads=T] [--loops=N] [--front-cache=SLOTS]
-//       [--poll] [--http-port=P]
+//       [--poll] [--http-port=P] [--trace-sample=RATE] [--trace-slow-ms=MS]
 //     Long-running server for external clients (bench_net_loadgen, the CI
 //     loopback smoke leg).  Prints "listening on 127.0.0.1:<port>" once
 //     ready and serves until SIGINT/SIGTERM.  --http-port additionally
-//     serves GET /metrics (Prometheus text format) on that port (0 =
-//     kernel-assigned; the chosen port is printed).
+//     serves GET /metrics (Prometheus text format) and GET /traces
+//     (request-trace JSON) on that port (0 = kernel-assigned; the chosen
+//     port is printed).  --trace-sample head-samples that fraction of
+//     requests into the trace rings; --trace-slow-ms tail-captures every
+//     request slower than the threshold.
 //
 // See README "Network service" for the wire protocol.
 #include <algorithm>
@@ -58,7 +61,8 @@ void OnSignal(int) { g_stop = 1; }
 
 int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
           uint32_t service_threads, size_t front_cache_slots, bool use_epoll,
-          uint32_t loops, bool enable_http, uint16_t http_port) {
+          uint32_t loops, bool enable_http, uint16_t http_port,
+          double trace_sample, double trace_slow_ms) {
   auto service =
       MakeService(filter_name, capacity, service_threads, front_cache_slots);
   if (service == nullptr) {
@@ -71,6 +75,9 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
   options.num_loops = loops;
   options.enable_http = enable_http;
   options.http_port = http_port;
+  options.trace_sample_rate = trace_sample;
+  options.trace_slow_ns =
+      trace_slow_ms > 0 ? static_cast<uint64_t>(trace_slow_ms * 1e6) : 0;
   net::MembershipServer server(service, options);
   if (!server.Start()) {
     std::fprintf(stderr, "server start failed: %s\n", server.error().c_str());
@@ -85,8 +92,14 @@ int Serve(const std::string& filter_name, uint64_t capacity, uint16_t port,
               server.port());
   if (enable_http) {
     std::printf("membership_server: metrics on "
-                "http://127.0.0.1:%u/metrics\n",
-                server.http_port());
+                "http://127.0.0.1:%u/metrics, traces on "
+                "http://127.0.0.1:%u/traces\n",
+                server.http_port(), server.http_port());
+  }
+  if (trace_sample > 0 || trace_slow_ms > 0) {
+    std::printf("membership_server: tracing %.4f%% of requests, slow "
+                "threshold %.1f ms\n",
+                trace_sample * 100.0, trace_slow_ms);
   }
   std::fflush(stdout);
 
@@ -224,6 +237,8 @@ int main(int argc, char** argv) {
   size_t front_cache = 0;
   bool enable_http = false;
   uint16_t http_port = 0;
+  double trace_sample = 0.0;
+  double trace_slow_ms = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") {
@@ -243,6 +258,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--http-port=", 0) == 0) {
       enable_http = true;
       http_port = static_cast<uint16_t>(std::atoi(arg.c_str() + 12));
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      trace_sample = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--trace-slow-ms=", 0) == 0) {
+      trace_slow_ms = std::atof(arg.c_str() + 16);
     } else if (arg == "--poll") {
       use_epoll = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -250,10 +269,14 @@ int main(int argc, char** argv) {
           "usage: example_membership_server [--serve] [--port=P]\n"
           "         [--filter=NAME] [--capacity=N] [--threads=T]\n"
           "         [--loops=N] [--front-cache=SLOTS] [--poll]\n"
-          "         [--http-port=P]\n"
+          "         [--http-port=P] [--trace-sample=RATE]\n"
+          "         [--trace-slow-ms=MS]\n"
           "Without --serve, runs the self-contained loopback demo.\n"
           "--loops=N serves on N SO_REUSEPORT event loops; --threads=T\n"
-          "adds T filter worker threads (queries then run off-loop).\n");
+          "adds T filter worker threads (queries then run off-loop).\n"
+          "--trace-sample=RATE head-samples that fraction of requests into\n"
+          "GET /traces; --trace-slow-ms=MS additionally captures every\n"
+          "request slower than MS milliseconds.\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
@@ -262,7 +285,8 @@ int main(int argc, char** argv) {
   }
   if (serve) {
     return Serve(filter, capacity, port, service_threads, front_cache,
-                 use_epoll, loops, enable_http, http_port);
+                 use_epoll, loops, enable_http, http_port, trace_sample,
+                 trace_slow_ms);
   }
   return Demo();
 }

@@ -6,10 +6,14 @@
 //   build/example_pf_stat --connect=HOST:PORT --watch  scrape every
 //       --interval seconds until interrupted, printing interval diffs
 //
+//   build/example_pf_stat --connect=HOST:PORT --traces  fetch the server's
+//       retained request traces and print each span timeline
+//
 // Speaks the STATS v2 wire request (src/net/protocol.h): one round trip
 // returns the service counters plus the server's whole metrics-registry
 // snapshot.  Against a pre-v2 server the same request degrades to the v1
-// payload and pf_stat prints the service counters alone.
+// payload and pf_stat prints the service counters alone.  --traces uses the
+// TRACES opcode; a pre-tracing server reads as "no traces retained".
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -22,6 +26,7 @@
 
 #include "src/net/membership_client.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -146,6 +151,61 @@ void PrintMetrics(const std::vector<obs::MetricSample>& cur,
   }
 }
 
+// One trace as an indented span timeline, offsets relative to the trace
+// start so a reader sees where the request's time actually went.
+void PrintTrace(const obs::Trace& t) {
+  const double total_us =
+      static_cast<double>(t.end_ns - t.start_ns) / 1000.0;
+  std::printf("  trace %016" PRIx64 "  op=%u loop=%u conn=%" PRIu64
+              " keys=%u frames=%u  [%s%s]  total=%.1fus\n",
+              t.trace_id, t.opcode, t.loop, t.conn_id, t.key_count, t.frames,
+              t.sampled() ? "sampled" : "", t.slow() ? " slow" : "",
+              total_us);
+  if (t.spans_dropped != 0) {
+    std::printf("    (%u spans dropped)\n", t.spans_dropped);
+  }
+  for (uint32_t i = 0; i < t.span_count && i < obs::kMaxTraceSpans; ++i) {
+    const obs::TraceSpan& s = t.spans[i];
+    const double offset_us =
+        s.start_ns >= t.start_ns
+            ? static_cast<double>(s.start_ns - t.start_ns) / 1000.0
+            : 0.0;
+    const double dur_us = static_cast<double>(s.end_ns - s.start_ns) / 1000.0;
+    std::printf("    %-12s +%-10.1f %10.1fus",
+                obs::TraceStageName(static_cast<obs::TraceStage>(s.stage)),
+                offset_us, dur_us);
+    switch (static_cast<obs::TraceStage>(s.stage)) {
+      case obs::TraceStage::kMerge:
+        std::printf("  frames=%" PRIu64, s.detail);
+        break;
+      case obs::TraceStage::kShardProbe:
+        std::printf("  shard=%" PRIu64 " keys=%" PRIu64, s.detail >> 32,
+                    s.detail & 0xffffffffu);
+        break;
+      default:
+        break;
+    }
+    std::printf("\n");
+  }
+}
+
+int PrintTraces(net::MembershipClient& client) {
+  std::vector<obs::Trace> traces;
+  if (!client.Traces(&traces)) {
+    std::fprintf(stderr, "TRACES failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  if (traces.empty()) {
+    std::printf("traces: none retained (start the server with "
+                "--trace-sample=RATE and/or --trace-slow-ms=MS, or the "
+                "server predates tracing)\n");
+    return 0;
+  }
+  std::printf("traces: %zu retained (slow captures first)\n", traces.size());
+  for (const obs::Trace& t : traces) PrintTrace(t);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +213,7 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   bool watch = false;
   bool diff = false;
+  bool traces_mode = false;
   double interval_s = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -169,12 +230,14 @@ int main(int argc, char** argv) {
       watch = true;
     } else if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--traces") {
+      traces_mode = true;
     } else if (arg.rfind("--interval=", 0) == 0) {
       interval_s = std::atof(arg.c_str() + 11);
       if (interval_s <= 0) interval_s = 1.0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: example_pf_stat --connect=HOST:PORT "
-                  "[--diff|--watch] [--interval=SECONDS]\n");
+                  "[--diff|--watch|--traces] [--interval=SECONDS]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
@@ -190,6 +253,8 @@ int main(int argc, char** argv) {
   options.host = host;
   options.port = port;
   net::MembershipClient client(options);
+
+  if (traces_mode) return PrintTraces(client);
 
   net::WireStats scrape;
   if (!client.StatsV2(&scrape)) {

@@ -1,5 +1,5 @@
 // Fuzz target: the STATS-v2 metrics wire codec (src/obs/exposition.h) plus
-// the enclosing STATS payload decoder.
+// the enclosing STATS payload decoder and the TRACES payload decoder.
 //
 // DecodeMetricSamples consumes from a ByteReader mid-payload, so it must be
 // robust against arbitrary bytes AND leave the reader in a sane state.  A
@@ -34,14 +34,32 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     }
   }
 
-  // Whole STATS payload (v1 or v2; v2 embeds a metrics blob after the
-  // legacy fields).
+  // Whole STATS payload (v1, v2, or v3; v2 embeds a metrics blob after the
+  // legacy fields, v3 appends the capability word).
   {
     prefixfilter::net::WireStats stats;
     if (prefixfilter::net::DecodeStatsPayload(data, size, &stats)) {
       std::vector<uint8_t> encoded;
       prefixfilter::net::EncodeStatsV2Response(1, stats, &encoded);
       (void)obs::RenderPrometheusText(stats.metrics);
+    }
+  }
+
+  // TRACES payload: a successful decode must re-encode into a payload that
+  // decodes again to the same number of traces.
+  {
+    std::vector<obs::Trace> traces;
+    if (prefixfilter::net::DecodeTracesPayload(data, size, &traces)) {
+      std::vector<uint8_t> encoded;
+      prefixfilter::net::EncodeTracesResponse(1, traces, &encoded);
+      std::vector<obs::Trace> again;
+      if (!prefixfilter::net::DecodeTracesPayload(
+              encoded.data() + prefixfilter::net::kFrameHeaderBytes,
+              encoded.size() - prefixfilter::net::kFrameHeaderBytes,
+              &again) ||
+          again.size() != traces.size()) {
+        __builtin_trap();  // decoded traces must round-trip
+      }
     }
   }
   return 0;

@@ -24,6 +24,7 @@
 #include "src/net/protocol.h"
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace fs = std::filesystem;
 namespace net = prefixfilter::net;
@@ -100,6 +101,59 @@ net::WireStats SampleStats() {
   return stats;
 }
 
+// Two traces with full span timelines for the TRACES codec paths.  Spans are
+// written directly rather than via ActiveTrace::AddSpan so the committed
+// corpus is byte-identical whether this generator was built with PF_OBS on
+// or off (AddSpan compiles to a no-op under -DPF_OBS=OFF).
+std::vector<obs::Trace> SampleTraces() {
+  std::vector<obs::Trace> traces(2);
+  obs::Trace& slow = traces[0];
+  slow.trace_id = 0x1122334455667788ull;
+  slow.request_id = 7;
+  slow.conn_id = 3;
+  slow.start_ns = 1'000'000;
+  slow.end_ns = 9'000'000;
+  slow.loop = 1;
+  slow.key_count = 4096;
+  slow.frames = 2;
+  slow.opcode = static_cast<uint8_t>(net::Opcode::kQueryBatch);
+  slow.flags = obs::kTraceSampled | obs::kTraceSlow;
+  slow.spans[0] = {static_cast<uint8_t>(obs::TraceStage::kReadDecode),
+                   1'000'000, 1'050'000, 0};
+  slow.spans[1] = {static_cast<uint8_t>(obs::TraceStage::kMerge), 1'000'000,
+                   1'060'000, 2};
+  slow.spans[2] = {static_cast<uint8_t>(obs::TraceStage::kQueueWait),
+                   1'060'000, 1'200'000, 0};
+  slow.spans[3] = {static_cast<uint8_t>(obs::TraceStage::kExec), 1'200'000,
+                   8'700'000, 0};
+  slow.spans[4] = {static_cast<uint8_t>(obs::TraceStage::kShardProbe),
+                   1'210'000, 8'600'000, (uint64_t{5} << 32) | 512u};
+  slow.spans[5] = {static_cast<uint8_t>(obs::TraceStage::kCompletion),
+                   8'700'000, 8'800'000, 0};
+  slow.spans[6] = {static_cast<uint8_t>(obs::TraceStage::kWrite), 8'800'000,
+                   9'000'000, 0};
+  slow.span_count = 7;
+  obs::Trace& sampled = traces[1];
+  sampled.trace_id = 0xdeadbeefcafef00dull;
+  sampled.request_id = 11;
+  sampled.conn_id = 4;
+  sampled.start_ns = 2'000'000;
+  sampled.end_ns = 2'040'000;
+  sampled.loop = 0;
+  sampled.key_count = 64;
+  sampled.frames = 1;
+  sampled.opcode = static_cast<uint8_t>(net::Opcode::kQueryBatch);
+  sampled.flags = obs::kTraceSampled;
+  sampled.spans[0] = {static_cast<uint8_t>(obs::TraceStage::kReadDecode),
+                      2'000'000, 2'010'000, 0};
+  sampled.spans[1] = {static_cast<uint8_t>(obs::TraceStage::kExec), 2'010'000,
+                      2'030'000, 0};
+  sampled.spans[2] = {static_cast<uint8_t>(obs::TraceStage::kWrite),
+                      2'030'000, 2'040'000, 0};
+  sampled.span_count = 3;
+  return traces;
+}
+
 // --- frame_decoder ----------------------------------------------------------
 
 void MakeFrameDecoderSeeds(const fs::path& dir) {
@@ -126,6 +180,25 @@ void MakeFrameDecoderSeeds(const fs::path& dir) {
   std::vector<uint8_t> stats_v2_req;
   net::EncodeStatsRequest(5, net::kStatsPayloadV2, &stats_v2_req);
   WriteSeed(dir, "stats_v2_request.bin", stats_v2_req);
+
+  std::vector<uint8_t> stats_v3_req;
+  net::EncodeStatsRequest(7, net::kStatsPayloadV3, &stats_v3_req);
+  WriteSeed(dir, "stats_v3_request.bin", stats_v3_req);
+
+  // Traced query frame: kFlagTraced plus the 9-byte trace-context prefix
+  // ahead of the key batch — the newest header-flags state in the decoder.
+  net::TraceContext context;
+  context.trace_id = 0x0123456789abcdefull;
+  context.sampled = true;
+  std::vector<uint8_t> traced_query_req;
+  net::EncodeTracedKeyBatchRequest(net::Opcode::kQueryBatch, 8, context,
+                                   keys.data(), keys.size(),
+                                   &traced_query_req);
+  WriteSeed(dir, "traced_query_request.bin", traced_query_req);
+
+  std::vector<uint8_t> traces_req;
+  net::EncodeEmptyRequest(net::Opcode::kTraces, 9, &traces_req);
+  WriteSeed(dir, "traces_request.bin", traces_req);
 
   std::vector<uint8_t> insert_resp;
   net::EncodeInsertResponse(1, /*failures=*/2, &insert_resp);
@@ -161,6 +234,16 @@ void MakeFrameDecoderSeeds(const fs::path& dir) {
   std::vector<uint8_t> stats_v2_resp;
   net::EncodeStatsV2Response(5, stats, &stats_v2_resp);
   WriteSeed(dir, "stats_v2_response.bin", stats_v2_resp);
+
+  net::WireStats stats_v3 = stats;
+  stats_v3.capabilities = net::kCapTraceContext | net::kCapTraces;
+  std::vector<uint8_t> stats_v3_resp;
+  net::EncodeStatsV3Response(7, stats_v3, &stats_v3_resp);
+  WriteSeed(dir, "stats_v3_response.bin", stats_v3_resp);
+
+  std::vector<uint8_t> traces_resp;
+  net::EncodeTracesResponse(9, SampleTraces(), &traces_resp);
+  WriteSeed(dir, "traces_response.bin", traces_resp);
 
   // Two frames back to back: exercises the decoder's frame-boundary state.
   std::vector<uint8_t> pipelined = query_req;
@@ -282,6 +365,21 @@ void MakeStatsCodecSeeds(const fs::path& dir) {
                                  metrics_blob.begin() +
                                      metrics_blob.size() / 2);
   WriteSeed(dir, "metrics_truncated.bin", truncated);
+
+  net::WireStats stats_v3 = stats;
+  stats_v3.capabilities = net::kCapTraceContext | net::kCapTraces;
+  std::vector<uint8_t> v3_frame;
+  net::EncodeStatsV3Response(1, stats_v3, &v3_frame);
+  WriteSeed(dir, "stats_v3_payload.bin",
+            std::vector<uint8_t>(v3_frame.begin() + net::kFrameHeaderBytes,
+                                 v3_frame.end()));
+
+  std::vector<uint8_t> traces_frame;
+  net::EncodeTracesResponse(1, SampleTraces(), &traces_frame);
+  WriteSeed(dir, "traces_payload.bin",
+            std::vector<uint8_t>(traces_frame.begin() +
+                                     net::kFrameHeaderBytes,
+                                 traces_frame.end()));
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace prefixfilter::net {
 
 MembershipClient::MembershipClient(ClientOptions options)
@@ -24,6 +26,19 @@ MembershipClient::MembershipClient(ClientOptions options)
     options_.max_batch_keys = kMaxKeysPerFrame;
   }
   if (options_.pipeline_depth == 0) options_.pipeline_depth = 1;
+  // rate * 2^64 overflows the double->u64 cast at rate >= 1.0 (2^64 is not
+  // representable), so "trace everything" clamps explicitly.
+  if (options_.trace_sample_rate >= 1.0) {
+    trace_threshold_ = ~uint64_t{0};
+  } else if (options_.trace_sample_rate > 0.0) {
+    trace_threshold_ = static_cast<uint64_t>(options_.trace_sample_rate *
+                                             static_cast<double>(~uint64_t{0}));
+  }
+  // Clock-entropy seed, decorrelated across same-process clients by identity
+  // (obs-disabled builds read a zero clock, hence the fallback constant).
+  trace_rng_ = (obs::NowNanos() | 1) ^
+               static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this));
+  if (trace_rng_ == 0) trace_rng_ = 0x9e3779b97f4a7c15ULL;
 }
 
 MembershipClient::~MembershipClient() { Disconnect(); }
@@ -209,14 +224,53 @@ bool MembershipClient::InsertBatch(const uint64_t* keys, size_t count,
   return true;
 }
 
+uint64_t MembershipClient::NextTraceRandom() {
+  uint64_t x = trace_rng_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  trace_rng_ = x;
+  return x;
+}
+
+bool MembershipClient::TraceNegotiated() {
+  if (trace_threshold_ == 0) return false;
+  if (trace_capable_ < 0) {
+    // One STATS v3 roundtrip decides whether the server understands
+    // kFlagTraced.  Only a decoded answer latches the verdict; a transport
+    // failure leaves the question open for the next RPC, so a server that was
+    // briefly unreachable does not silence tracing forever.
+    WireStats stats;
+    if (!StatsV3(&stats)) return false;
+    trace_capable_ = (stats.capabilities & kCapTraceContext) != 0 ? 1 : 0;
+  }
+  return trace_capable_ == 1;
+}
+
+bool MembershipClient::ShouldTraceFrame() {
+  return TraceNegotiated() && NextTraceRandom() <= trace_threshold_;
+}
+
 bool MembershipClient::QueryBatch(const uint64_t* keys, size_t count,
                                   std::vector<uint8_t>* out) {
   // Over-cap batches ride the pipelined path, which already frames in
   // kMaxKeysPerFrame-or-smaller slices.
   if (count > kMaxKeysPerFrame) return QueryPipelined(keys, count, out);
+  // Sampled before the id so the lazy negotiation roundtrip (which consumes
+  // ids of its own) finishes before this frame's id is drawn.
+  const bool traced = ShouldTraceFrame();
   const uint64_t id = next_request_id_++;
   std::vector<uint8_t> request;
-  EncodeKeyBatchRequest(Opcode::kQueryBatch, id, keys, count, &request);
+  if (traced) {
+    TraceContext context;
+    context.trace_id = NextTraceRandom() | 1;  // 0 means "server assigns"
+    context.sampled = true;
+    EncodeTracedKeyBatchRequest(Opcode::kQueryBatch, id, context, keys, count,
+                                &request);
+    ++frames_traced_;
+  } else {
+    EncodeKeyBatchRequest(Opcode::kQueryBatch, id, keys, count, &request);
+  }
   Frame response;
   if (!Roundtrip(request, id, &response)) return false;
   if (response.opcode != static_cast<uint8_t>(Opcode::kQueryBatch) ||
@@ -239,6 +293,10 @@ bool MembershipClient::Contains(uint64_t key, bool* present) {
 
 bool MembershipClient::QueryPipelined(const uint64_t* keys, size_t count,
                                       std::vector<uint8_t>* out) {
+  // Negotiate before the window opens: the negotiation is its own strict
+  // request/response exchange and must not interleave with in-flight
+  // pipelined frames.
+  const bool trace_eligible = TraceNegotiated();
   const int attempts = options_.auto_reconnect ? 2 : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) ++reconnects_;
@@ -269,8 +327,17 @@ bool MembershipClient::QueryPipelined(const uint64_t* keys, size_t count,
         const size_t n = std::min(options_.max_batch_keys, count - sent);
         const uint64_t id = next_request_id_++;
         request.clear();
-        EncodeKeyBatchRequest(Opcode::kQueryBatch, id, keys + sent, n,
-                              &request);
+        if (trace_eligible && NextTraceRandom() <= trace_threshold_) {
+          TraceContext context;
+          context.trace_id = NextTraceRandom() | 1;
+          context.sampled = true;
+          EncodeTracedKeyBatchRequest(Opcode::kQueryBatch, id, context,
+                                      keys + sent, n, &request);
+          ++frames_traced_;
+        } else {
+          EncodeKeyBatchRequest(Opcode::kQueryBatch, id, keys + sent, n,
+                                &request);
+        }
         if (!SendAll(request.data(), request.size())) {
           transport_ok = false;
           break;
@@ -348,6 +415,53 @@ bool MembershipClient::StatsV2(WireStats* out) {
       !DecodeStatsPayload(response.payload.data(), response.payload.size(),
                           out)) {
     Fail("malformed STATS response");
+    Disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool MembershipClient::StatsV3(WireStats* out) {
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> request;
+  EncodeStatsRequest(id, kStatsPayloadV3, &request);
+  Frame response;
+  if (!Roundtrip(request, id, &response)) return false;
+  if (response.opcode != static_cast<uint8_t>(Opcode::kStats) ||
+      !DecodeStatsPayload(response.payload.data(), response.payload.size(),
+                          out)) {
+    Fail("malformed STATS response");
+    Disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool MembershipClient::Traces(std::vector<obs::Trace>* out) {
+  out->clear();
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> request;
+  EncodeEmptyRequest(Opcode::kTraces, id, &request);
+  Frame response;
+  if (!Roundtrip(request, id, &response)) {
+    // A pre-tracing server answers kUnsupported (protocol.h): that reads as
+    // "no traces", not a failure, so mixed fleets stay queryable.
+    ErrorCode code;
+    std::string message;
+    if (response.is_response() && response.request_id == id &&
+        response.is_error() &&
+        DecodeErrorPayload(response.payload.data(), response.payload.size(),
+                           &code, &message) &&
+        code == ErrorCode::kUnsupported) {
+      error_.clear();
+      return true;
+    }
+    return false;
+  }
+  if (response.opcode != static_cast<uint8_t>(Opcode::kTraces) ||
+      !DecodeTracesPayload(response.payload.data(), response.payload.size(),
+                           out)) {
+    Fail("malformed TRACES response");
     Disconnect();
     return false;
   }

@@ -50,6 +50,13 @@ struct ClientOptions {
   // ClientOptions clean under -Wmissing-field-initializers.
   std::string record_frames_dir{};
   size_t record_frames_limit = 256;
+  // Fraction of QUERY_BATCH frames (single-frame and pipelined) sent with a
+  // kFlagTraced context prefix, client-sampled (0 disables, >= 1 traces every
+  // frame).  Before the first traced frame the client performs one STATS v3
+  // roundtrip and only ever sets the flag when the server advertised
+  // kCapTraceContext, so a traced client degrades cleanly against old
+  // servers.
+  double trace_sample_rate = 0.0;
 };
 
 class MembershipClient {
@@ -89,7 +96,16 @@ class MembershipClient {
   // and answers v1, which still decodes — out->metrics is simply empty, so
   // callers distinguish by out->metrics.empty().
   bool StatsV2(WireStats* out);
+  // Requests the v3 stats payload (v2 + the capability bitmask that gates
+  // trace-context negotiation).  Pre-v3 servers answer whatever they speak;
+  // out->capabilities stays 0, which reads as "no capabilities".
+  bool StatsV3(WireStats* out);
   bool Snapshot(std::vector<uint8_t>* out);
+
+  // Fetches the server's recent trace captures (Opcode::kTraces).  A
+  // pre-tracing server answers kUnsupported, which this treats as an empty
+  // trace list, not a failure.
+  bool Traces(std::vector<obs::Trace>* out);
 
   // --- client-side counters -------------------------------------------------
 
@@ -100,6 +116,8 @@ class MembershipClient {
   uint64_t remote_errors() const { return remote_errors_; }
   // Pipelined responses that arrived ahead of an older in-flight frame.
   uint64_t responses_reordered() const { return responses_reordered_; }
+  // QUERY_BATCH frames sent with a sampled trace context.
+  uint64_t frames_traced() const { return frames_traced_; }
 
  private:
   // Dials if disconnected; false when that fails.
@@ -118,6 +136,12 @@ class MembershipClient {
   void Fail(const std::string& message);
   // Appends one recorded frame file (see ClientOptions::record_frames_dir).
   void RecordFrameBytes(const char* tag, const uint8_t* data, size_t len);
+  // True when trace_sample_rate is active and the server has advertised
+  // kCapTraceContext; lazily runs the one-time STATS v3 negotiation.
+  bool TraceNegotiated();
+  // Coin flip for one frame: negotiated AND the sampler fires.
+  bool ShouldTraceFrame();
+  uint64_t NextTraceRandom();
 
   ClientOptions options_;
   int fd_ = -1;
@@ -125,11 +149,21 @@ class MembershipClient {
   FrameDecoder decoder_;
   std::string error_;
 
+  // Sampler state: threshold over the full u64 range (0 = tracing off), a
+  // per-client xorshift64 stream, and the negotiation latch (-1 unknown,
+  // 0 server lacks the capability, 1 negotiated).  Latched for the client's
+  // lifetime: the capability is a property of the server build, and a
+  // reconnect redials the same endpoint.
+  uint64_t trace_threshold_ = 0;
+  uint64_t trace_rng_ = 1;
+  int trace_capable_ = -1;
+
   uint64_t frames_sent_ = 0;
   uint64_t frames_received_ = 0;
   uint64_t reconnects_ = 0;
   uint64_t remote_errors_ = 0;
   uint64_t responses_reordered_ = 0;
+  uint64_t frames_traced_ = 0;
   size_t frames_recorded_ = 0;
 };
 

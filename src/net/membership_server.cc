@@ -76,9 +76,24 @@ MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
                                                   {{"op", "stats"}})),
       snapshot_request_hist_(registry_->GetHistogram("net.server.request.ns",
                                                      {{"op", "snapshot"}})),
-      merge_frames_hist_(registry_->GetHistogram("net.server.merge.frames")) {
+      merge_frames_hist_(registry_->GetHistogram("net.server.merge.frames")),
+      loop_iter_hist_(registry_->GetHistogram("net.loop.iter.ns")),
+      wakeup_delay_hist_(registry_->GetHistogram("net.loop.wakeup.delay.ns")),
+      completions_depth_hist_(
+          registry_->GetHistogram("net.loop.completions.depth")),
+      trace_sink_(options_.trace_capacity) {
   offload_enabled_ = service_ != nullptr && service_->num_threads() > 0 &&
                      options_.offload_queries;
+  // Map the sampling rate onto the full u64 PRNG range once; the hot path
+  // then decides with one compare.  rate >= 1 must not round through the
+  // double->u64 cast (2^64 is not representable), so it clamps explicitly.
+  const double rate = options_.trace_sample_rate;
+  if (rate >= 1.0) {
+    trace_threshold_ = ~uint64_t{0};
+  } else if (rate > 0.0) {
+    trace_threshold_ =
+        static_cast<uint64_t>(rate * static_cast<double>(~uint64_t{0}));
+  }
   // Sized (and never resized) here so the scrape-time collector below can
   // walk it without synchronizing against Start()/Stop().
   const uint32_t num_loops = std::max(1u, options_.num_loops);
@@ -110,6 +125,10 @@ MembershipServer::MembershipServer(std::shared_ptr<FilterService> service,
         counter("net.server.batches.offloaded", s.batches_offloaded);
         counter("net.server.responses.reordered", s.responses_reordered);
         counter("net.server.backpressure.stalls", s.backpressure_stalls);
+        const obs::TraceSinkStats trace_stats = trace_sink_.stats();
+        counter("net.server.traces.sampled", trace_stats.sampled);
+        counter("net.server.traces.slow", trace_stats.slow);
+        counter("net.server.traces.dropped", trace_stats.dropped);
         // Per-loop balance: one labeled series per event loop, so /metrics
         // shows whether SO_REUSEPORT (or the fallback) spreads the load.
         for (size_t i = 0; i < loop_traffic_.size(); ++i) {
@@ -219,6 +238,11 @@ bool MembershipServer::Start() {
   for (uint32_t i = 0; i < num_loops; ++i) {
     auto loop = std::make_unique<Loop>();
     loop->index = i;
+    // Distinct nonzero xorshift seeds per loop; the clock term keeps trace
+    // ids from repeating across server restarts (0 under PF_OBS=OFF, where
+    // the constant still keeps the state nonzero).
+    loop->rng_state =
+        (obs::NowNanos() | 1) ^ (0x9e3779b97f4a7c15ULL * (i + 1));
     loops_.push_back(std::move(loop));
   }
 
@@ -377,10 +401,35 @@ ServerStats MembershipServer::stats() const {
   return s;
 }
 
+uint64_t MembershipServer::LoopRandom(Loop& loop) {
+  uint64_t x = loop.rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  loop.rng_state = x;
+  return x;
+}
+
+void MembershipServer::FinishTrace(obs::ActiveTrace& trace) {
+  obs::Trace& t = trace.t;
+  t.end_ns = obs::NowNanos();
+  if (options_.trace_slow_ns > 0 && t.end_ns >= t.start_ns &&
+      t.end_ns - t.start_ns >= options_.trace_slow_ns) {
+    t.flags |= obs::kTraceSlow;
+  }
+  // Tail-armed traces that finished fast and were never sampled carry no
+  // retention flag: they existed only in case they turned out slow.
+  if (t.flags != 0) trace_sink_.Push(t);
+}
+
 void MembershipServer::LoopRun(Loop& loop) {
   std::vector<PollEvent> events;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     if (!loop.poller->Wait(/*timeout_ms=*/500, &events)) break;
+    // Busy iterations only: an empty wakeup (timeout) would flood the
+    // iteration histogram with 500ms idle samples and bury the signal.
+    const uint64_t iter_start_ns =
+        events.empty() ? 0 : obs::NowNanos();
     for (const PollEvent& event : events) {
       if (event.fd == loop.wake_read_fd) {
         char drain[64];
@@ -411,6 +460,9 @@ void MembershipServer::LoopRun(Loop& loop) {
         CloseConnection(loop, event.fd,
                         /*dropped=*/event.error || conn.dropped);
       }
+    }
+    if (iter_start_ns != 0) {
+      loop_iter_hist_->Record(obs::NowNanos() - iter_start_ns);
     }
   }
   // Shutdown grace: batches already offloaded get a bounded window to
@@ -501,6 +553,9 @@ bool MembershipServer::ServeConnection(Loop& loop, Connection& conn) {
       std::max<size_t>(options_.max_read_buffer,
                        kMaxPayload + kFrameHeaderBytes);
   const uint32_t inflight_cap = std::max(1u, options_.max_inflight_batches);
+  // Trace clock zero for this serve pass: the read+decode span of any batch
+  // admitted below starts here (0 when observability is compiled out).
+  const uint64_t serve_start_ns = obs::NowNanos();
   bool peer_closed = false;
   if (!conn.peer_closed) {
     uint8_t scratch[65536];
@@ -529,6 +584,7 @@ bool MembershipServer::ServeConnection(Loop& loop, Connection& conn) {
   // counting-sort shard grouping spans the whole pipeline window.
   std::vector<uint64_t> pending_keys;
   std::vector<std::pair<uint64_t, uint32_t>> pending_queries;
+  std::shared_ptr<obs::ActiveTrace> pending_trace;
   Frame frame;
   for (;;) {
     if (offload_enabled_ && conn.inflight >= inflight_cap) {
@@ -552,9 +608,11 @@ bool MembershipServer::ServeConnection(Loop& loop, Connection& conn) {
     }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     loop_traffic_[loop.index]->frames.fetch_add(1, std::memory_order_relaxed);
-    HandleFrame(loop, conn, frame, &pending_keys, &pending_queries);
+    HandleFrame(loop, conn, frame, &pending_keys, &pending_queries,
+                &pending_trace, serve_start_ns);
   }
-  FlushQueries(loop, conn, &pending_keys, &pending_queries);
+  FlushQueries(loop, conn, &pending_keys, &pending_queries, &pending_trace,
+               serve_start_ns);
   if (peer_closed) conn.peer_closed = true;
   // FlushOutbox owns the whole close-on-EOF rule: it returns false once a
   // half-closed connection drains its outbox AND its in-flight batches, and
@@ -626,10 +684,13 @@ bool MembershipServer::ServeHttpConnection(Loop& loop, Connection& conn) {
     body = "method not allowed\n";
   } else if (target == "/metrics") {
     body = obs::RenderPrometheusText(registry_->Collect());
+  } else if (target == "/traces") {
+    content_type = "application/json; charset=utf-8";
+    body = obs::RenderTracesJson(trace_sink_.Snapshot(), trace_sink_.stats());
   } else {
     status = "404 Not Found";
     content_type = "text/plain; charset=utf-8";
-    body = "not found; try /metrics\n";
+    body = "not found; try /metrics or /traces\n";
   }
   std::string response = "HTTP/1.1 " + status +
                          "\r\nContent-Type: " + content_type +
@@ -645,9 +706,12 @@ bool MembershipServer::ServeHttpConnection(Loop& loop, Connection& conn) {
 void MembershipServer::HandleFrame(
     Loop& loop, Connection& conn, Frame& frame,
     std::vector<uint64_t>* pending_keys,
-    std::vector<std::pair<uint64_t, uint32_t>>* pending_queries) {
+    std::vector<std::pair<uint64_t, uint32_t>>* pending_queries,
+    std::shared_ptr<obs::ActiveTrace>* pending_trace,
+    uint64_t serve_start_ns) {
   if (frame.is_response() || !IsKnownOpcode(frame.opcode)) {
-    FlushQueries(loop, conn, pending_keys, pending_queries);
+    FlushQueries(loop, conn, pending_keys, pending_queries, pending_trace,
+                 serve_start_ns);
     EncodeErrorResponse(static_cast<Opcode>(frame.opcode), frame.request_id,
                         ErrorCode::kUnsupported,
                         frame.is_response() ? "unexpected response flag"
@@ -658,13 +722,34 @@ void MembershipServer::HandleFrame(
   }
   const Opcode opcode = static_cast<Opcode>(frame.opcode);
 
+  // Traced frames carry a trace-context prefix ahead of the normal payload
+  // (protocol.h): strip it here so every parser below sees exactly the
+  // payload it always saw.  Untraced frames take one predictable branch.
+  const uint8_t* payload = frame.payload.data();
+  size_t payload_len = frame.payload.size();
+  TraceContext wire_context;
+  bool client_traced = false;
+  if ((frame.flags & kFlagTraced) != 0) {
+    if (!DecodeTraceContext(payload, payload_len, &wire_context)) {
+      FlushQueries(loop, conn, pending_keys, pending_queries, pending_trace,
+                   serve_start_ns);
+      EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
+                          "malformed trace context", &conn.outbox);
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    payload += kTraceContextBytes;
+    payload_len -= kTraceContextBytes;
+    client_traced = true;
+  }
+
   if (opcode == Opcode::kQueryBatch) {
     // Appends straight onto the merged batch: no per-frame allocation on
     // the hottest path.
     const size_t before = pending_keys->size();
-    if (!AppendKeyBatchPayload(frame.payload.data(), frame.payload.size(),
-                               pending_keys)) {
-      FlushQueries(loop, conn, pending_keys, pending_queries);
+    if (!AppendKeyBatchPayload(payload, payload_len, pending_keys)) {
+      FlushQueries(loop, conn, pending_keys, pending_queries, pending_trace,
+                   serve_start_ns);
       EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
                           "malformed key batch", &conn.outbox);
       frames_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -675,6 +760,36 @@ void MembershipServer::HandleFrame(
     }
     pending_queries->emplace_back(
         frame.request_id, static_cast<uint32_t>(pending_keys->size() - before));
+    // Trace admission, once per merged batch: client propagation (the
+    // sampled bit in the wire context), head sampling (loop PRNG), or the
+    // armed tail-capture path (records everything, retains only what turns
+    // out slow).  A later traced frame merging into an already-admitted
+    // batch upgrades it to the client's identity.
+    if (obs::kEnabled) {
+      const bool client_sampled = client_traced && wire_context.sampled;
+      if (*pending_trace == nullptr) {
+        const bool head_sampled =
+            trace_threshold_ != 0 && LoopRandom(loop) <= trace_threshold_;
+        if (client_sampled || head_sampled || options_.trace_slow_ns > 0) {
+          auto trace = std::make_shared<obs::ActiveTrace>();
+          obs::Trace& t = trace->t;
+          t.trace_id = client_sampled && wire_context.trace_id != 0
+                           ? wire_context.trace_id
+                           : (LoopRandom(loop) | 1);
+          t.request_id = frame.request_id;
+          t.conn_id = conn.id;
+          t.loop = loop.index;
+          t.opcode = frame.opcode;
+          t.start_ns = serve_start_ns;
+          if (client_sampled || head_sampled) t.flags |= obs::kTraceSampled;
+          *pending_trace = std::move(trace);
+        }
+      } else if (client_sampled && !(*pending_trace)->t.sampled()) {
+        obs::Trace& t = (*pending_trace)->t;
+        if (wire_context.trace_id != 0) t.trace_id = wire_context.trace_id;
+        t.flags |= obs::kTraceSampled;
+      }
+    }
     return;
   }
 
@@ -683,14 +798,14 @@ void MembershipServer::HandleFrame(
   // SUBMITS the batch, so this barrier response can reach the wire before
   // the query responses do — clients correlate by request id (see
   // protocol.h).
-  FlushQueries(loop, conn, pending_keys, pending_queries);
+  FlushQueries(loop, conn, pending_keys, pending_queries, pending_trace,
+               serve_start_ns);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   switch (opcode) {
     case Opcode::kInsertBatch: {
       obs::ScopedLatency timer(insert_request_hist_);
       std::vector<uint64_t> keys;
-      if (!DecodeKeyBatchPayload(frame.payload.data(), frame.payload.size(),
-                                 &keys)) {
+      if (!DecodeKeyBatchPayload(payload, payload_len, &keys)) {
         EncodeErrorResponse(opcode, frame.request_id, ErrorCode::kBadRequest,
                             "malformed key batch", &conn.outbox);
         return;
@@ -706,14 +821,27 @@ void MembershipServer::HandleFrame(
     case Opcode::kStats: {
       obs::ScopedLatency timer(stats_request_hist_);
       WireStats wire = CollectWireStats(*service_);
-      if (StatsRequestVersion(frame.payload.data(), frame.payload.size()) >=
-          kStatsPayloadV2) {
+      const uint8_t version = StatsRequestVersion(payload, payload_len);
+      if (version >= kStatsPayloadV3) {
+        wire.metrics = registry_->Collect();
+        // Capabilities advertise what this build actually serves: with
+        // observability compiled out, traced frames would decode but never
+        // record, so the server does not invite them.
+        wire.capabilities =
+            obs::kEnabled ? (kCapTraceContext | kCapTraces) : 0u;
+        EncodeStatsV3Response(frame.request_id, wire, &conn.outbox);
+      } else if (version >= kStatsPayloadV2) {
         wire.metrics = registry_->Collect();
         EncodeStatsV2Response(frame.request_id, wire, &conn.outbox);
       } else {
         // Byte-identical to the pre-v2 encoding: old clients keep working.
         EncodeStatsResponse(frame.request_id, wire, &conn.outbox);
       }
+      return;
+    }
+    case Opcode::kTraces: {
+      EncodeTracesResponse(frame.request_id, trace_sink_.Snapshot(),
+                           &conn.outbox);
       return;
     }
     case Opcode::kSnapshot: {
@@ -743,12 +871,31 @@ void MembershipServer::HandleFrame(
 
 void MembershipServer::FlushQueries(
     Loop& loop, Connection& conn, std::vector<uint64_t>* pending_keys,
-    std::vector<std::pair<uint64_t, uint32_t>>* pending) {
+    std::vector<std::pair<uint64_t, uint32_t>>* pending,
+    std::shared_ptr<obs::ActiveTrace>* pending_trace,
+    uint64_t serve_start_ns) {
   if (pending->empty()) return;
   merge_frames_hist_->Record(pending->size());
   queries_served_.fetch_add(pending_keys->size(), std::memory_order_relaxed);
   loop_traffic_[loop.index]->keys.fetch_add(pending_keys->size(),
                                             std::memory_order_relaxed);
+
+  // The batch is sealed: close the decode (and merge) window.  The merge
+  // span only exists when frames actually coalesced; its detail carries the
+  // frame count.
+  std::shared_ptr<obs::ActiveTrace> batch_trace = std::move(*pending_trace);
+  if (batch_trace != nullptr) {
+    obs::Trace& t = batch_trace->t;
+    t.key_count = static_cast<uint32_t>(pending_keys->size());
+    t.frames = static_cast<uint32_t>(pending->size());
+    const uint64_t sealed_ns = obs::NowNanos();
+    batch_trace->AddSpan(obs::TraceStage::kReadDecode, serve_start_ns,
+                         sealed_ns);
+    if (pending->size() > 1) {
+      batch_trace->AddSpan(obs::TraceStage::kMerge, serve_start_ns, sealed_ns,
+                           pending->size());
+    }
+  }
 
   if (offload_enabled_) {
     // Decode/filter decoupling: hand the merged batch to the FilterService
@@ -763,6 +910,7 @@ void MembershipServer::FlushQueries(
     conn.inflight_seqs.push_back(comp.seq);
     comp.requests = std::move(*pending);
     comp.submit_ns = obs::NowNanos();
+    comp.trace = batch_trace;
     Loop* owner = &loop;  // stable: loops_ holds unique_ptrs for our life
     const int wake_fd = loop.wake_write_fd;
     service_->QueryBatchAsync(
@@ -770,6 +918,9 @@ void MembershipServer::FlushQueries(
         [owner, wake_fd,
          comp = std::move(comp)](std::vector<uint8_t> results) mutable {
           comp.results = std::move(results);
+          // Worker-side completion stamp: DrainCompletions measures the
+          // wakeup dispatch delay and the completion-transit span from it.
+          comp.done_ns = obs::NowNanos();
           {
             MutexLock lock(owner->completions_mutex);
             owner->completions.push_back(std::move(comp));
@@ -778,7 +929,8 @@ void MembershipServer::FlushQueries(
           // Full pipe (bounded by the inflight caps) or racing shutdown:
           // either way the loop will drain completions on its next wake.
           (void)!::write(wake_fd, &byte, 1);
-        });
+        },
+        std::move(batch_trace));
     pending_keys->clear();
     pending->clear();
     return;
@@ -788,16 +940,26 @@ void MembershipServer::FlushQueries(
   // one response per original frame, in request order.  One latency sample
   // per merged batch: the whole decode-to-encode window every frame in the
   // pipeline run shares.
-  obs::ScopedLatency timer(query_request_hist_);
+  const uint64_t sync_start_ns = obs::NowNanos();
   std::vector<uint8_t> results(pending_keys->size());
   service_->QueryBatchSync(pending_keys->data(), pending_keys->size(),
-                           results.data());
+                           results.data(), batch_trace.get());
   frames_sent_.fetch_add(pending->size(), std::memory_order_relaxed);
+  const uint64_t write_start_ns = obs::NowNanos();
   size_t offset = 0;
   for (const auto& [request_id, count] : *pending) {
     EncodeQueryResponse(request_id, results.data() + offset, count,
                         &conn.outbox);
     offset += count;
+  }
+  if (batch_trace != nullptr) {
+    batch_trace->AddSpan(obs::TraceStage::kWrite, write_start_ns,
+                         obs::NowNanos());
+    FinishTrace(*batch_trace);
+    query_request_hist_->RecordWithExemplar(obs::NowNanos() - sync_start_ns,
+                                            batch_trace->t.trace_id);
+  } else {
+    query_request_hist_->Record(obs::NowNanos() - sync_start_ns);
   }
   pending_keys->clear();
   pending->clear();
@@ -808,6 +970,9 @@ void MembershipServer::DrainCompletions(Loop& loop) {
   {
     MutexLock lock(loop.completions_mutex);
     completions.swap(loop.completions);
+  }
+  if (!completions.empty()) {
+    completions_depth_hist_->Record(completions.size());
   }
   for (Completion& comp : completions) {
     const auto id_it = loop.fd_by_conn_id.find(comp.conn_id);
@@ -828,8 +993,24 @@ void MembershipServer::DrainCompletions(Loop& loop) {
     if (seq_it != conn.inflight_seqs.end()) conn.inflight_seqs.erase(seq_it);
     if (conn.inflight > 0) --conn.inflight;
 
+    const uint64_t drained_ns = obs::NowNanos();
+    // Wakeup dispatch delay: worker callback entry -> this loop pickup (the
+    // completion-queue transit every offloaded response pays).
+    if (comp.done_ns != 0 && drained_ns >= comp.done_ns) {
+      wakeup_delay_hist_->Record(drained_ns - comp.done_ns);
+    }
+    if (comp.trace != nullptr) {
+      comp.trace->AddSpan(obs::TraceStage::kCompletion, comp.done_ns,
+                          drained_ns);
+    }
     if (comp.submit_ns != 0) {
-      query_request_hist_->Record(obs::NowNanos() - comp.submit_ns);
+      const uint64_t request_ns = drained_ns - comp.submit_ns;
+      if (comp.trace != nullptr) {
+        query_request_hist_->RecordWithExemplar(request_ns,
+                                                comp.trace->t.trace_id);
+      } else {
+        query_request_hist_->Record(request_ns);
+      }
     }
     size_t offset = 0;
     for (const auto& [request_id, count] : comp.requests) {
@@ -838,6 +1019,11 @@ void MembershipServer::DrainCompletions(Loop& loop) {
       offset += count;
     }
     frames_sent_.fetch_add(comp.requests.size(), std::memory_order_relaxed);
+    if (comp.trace != nullptr) {
+      comp.trace->AddSpan(obs::TraceStage::kWrite, drained_ns,
+                          obs::NowNanos());
+      FinishTrace(*comp.trace);
+    }
 
     bool alive;
     if (conn.read_parked &&

@@ -51,6 +51,8 @@
 #include "src/net/poller.h"
 #include "src/net/protocol.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_sink.h"
 #include "src/service/filter_service.h"
 #include "src/util/thread_annotations.h"
 
@@ -104,6 +106,18 @@ struct ServerOptions {
   // expose; nullptr = obs::MetricsRegistry::Global().  Must be the registry
   // the FilterService uses for its samples to appear in the same scrape.
   obs::MetricsRegistry* registry = nullptr;
+  // Head-based trace sampling: fraction of merged query batches (0.0..1.0)
+  // admitted to tracing at decode time.  0 (the default) disables head
+  // sampling; client-propagated trace context (kFlagTraced with the sampled
+  // bit) is always honored.  No-op under PF_OBS=OFF.
+  double trace_sample_rate = 0.0;
+  // Tail capture: when > 0, every merged query batch is timed and those
+  // slower than this many nanoseconds are retained in the slow ring even if
+  // not head-sampled.  Costs one small allocation per merged batch while
+  // armed; 0 (the default) disables it.
+  uint64_t trace_slow_ns = 0;
+  // Retained traces per ring (sampled and slow each); 0 = default 256.
+  size_t trace_capacity = 0;
 };
 
 // Server-wide counters, readable concurrently with the running server
@@ -161,6 +175,10 @@ class MembershipServer {
 
   ServerStats stats() const;
 
+  // The server's trace retention (sampled + slow rings); what GET /traces
+  // and the TRACES opcode render.  Valid for the server's lifetime.
+  const obs::TraceSink& trace_sink() const { return trace_sink_; }
+
  private:
   struct Connection {
     int fd = -1;
@@ -206,6 +224,12 @@ class MembershipServer {
     std::vector<std::pair<uint64_t, uint32_t>> requests;
     std::vector<uint8_t> results;
     uint64_t submit_ns = 0;
+    // When the worker finished the batch (callback entry); feeds the
+    // completion-transit span and the wakeup-dispatch-delay histogram.
+    uint64_t done_ns = 0;
+    // Non-null when the batch is traced: the loop finishes the trace
+    // (completion + write spans, slow check, sink push) while draining.
+    std::shared_ptr<obs::ActiveTrace> trace;
   };
 
   // Everything one event-loop thread owns.  Only that thread touches the
@@ -225,6 +249,9 @@ class MembershipServer {
     std::thread thread;
     Mutex completions_mutex;
     std::vector<Completion> completions PF_GUARDED_BY(completions_mutex);
+    // Loop-thread-only xorshift state behind head sampling and server-side
+    // trace-id generation (seeded in Start()).
+    uint64_t rng_state = 1;
   };
 
   // Per-loop traffic counters behind the loop=<i> metric labels.  Fixed at
@@ -246,13 +273,23 @@ class MembershipServer {
   bool ServeHttpConnection(Loop& loop, Connection& conn);
   void HandleFrame(Loop& loop, Connection& conn, Frame& frame,
                    std::vector<uint64_t>* pending_keys,
-                   std::vector<std::pair<uint64_t, uint32_t>>* pending_queries);
+                   std::vector<std::pair<uint64_t, uint32_t>>* pending_queries,
+                   std::shared_ptr<obs::ActiveTrace>* pending_trace,
+                   uint64_t serve_start_ns);
   // Runs the accumulated pipelined query keys as one merged batch: offloads
   // to the worker pool when configured (responses emitted on completion),
   // else executes inline and emits one response frame per original request.
+  // *pending_trace (when non-null) rides with the batch and is consumed.
   void FlushQueries(Loop& loop, Connection& conn,
                     std::vector<uint64_t>* pending_keys,
-                    std::vector<std::pair<uint64_t, uint32_t>>* pending);
+                    std::vector<std::pair<uint64_t, uint32_t>>* pending,
+                    std::shared_ptr<obs::ActiveTrace>* pending_trace,
+                    uint64_t serve_start_ns);
+  // Stamps end_ns, applies the slow-threshold tail check, and retains the
+  // trace in the sink when it is sampled or slow.
+  void FinishTrace(obs::ActiveTrace& trace);
+  // Loop-thread-only xorshift64 step (head sampling, trace-id generation).
+  static uint64_t LoopRandom(Loop& loop);
   // Emits responses for every queued completion on this loop; unparks and
   // re-serves connections that were capped.
   void DrainCompletions(Loop& loop);
@@ -307,6 +344,16 @@ class MembershipServer {
   obs::LatencyHistogram* stats_request_hist_;
   obs::LatencyHistogram* snapshot_request_hist_;
   obs::LatencyHistogram* merge_frames_hist_;
+  // Loop self-telemetry: busy-iteration duration, completion dispatch delay
+  // (worker callback -> loop drain), and completion-queue depth per drain.
+  obs::LatencyHistogram* loop_iter_hist_;
+  obs::LatencyHistogram* wakeup_delay_hist_;
+  obs::LatencyHistogram* completions_depth_hist_;
+  // Request-trace retention (see trace_sink()); bounded lock-free rings.
+  obs::TraceSink trace_sink_;
+  // options_.trace_sample_rate mapped onto the u64 PRNG range (0 = never,
+  // UINT64_MAX = always); resolved once in the constructor.
+  uint64_t trace_threshold_ = 0;
   uint64_t collector_id_ = 0;
 };
 

@@ -51,6 +51,7 @@ bool IsKnownOpcode(uint8_t raw) {
     case Opcode::kQueryBatch:
     case Opcode::kStats:
     case Opcode::kSnapshot:
+    case Opcode::kTraces:
       return true;
   }
   return false;
@@ -96,6 +97,29 @@ void EncodeKeyBatchRequest(Opcode opcode, uint64_t request_id,
 void EncodeEmptyRequest(Opcode opcode, uint64_t request_id,
                         std::vector<uint8_t>* out) {
   AppendFrame(opcode, 0, request_id, nullptr, 0, out);
+}
+
+void EncodeTracedKeyBatchRequest(Opcode opcode, uint64_t request_id,
+                                 const TraceContext& context,
+                                 const uint64_t* keys, size_t count,
+                                 std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload(kTraceContextBytes + 4 + 8 * count);
+  PutU64(payload.data(), context.trace_id);
+  payload[8] = context.sampled ? kTraceContextSampled : 0;
+  PutU32(payload.data() + kTraceContextBytes, static_cast<uint32_t>(count));
+  if (count != 0) {
+    std::memcpy(payload.data() + kTraceContextBytes + 4, keys, 8 * count);
+  }
+  AppendFrame(opcode, kFlagTraced, request_id, payload.data(), payload.size(),
+              out);
+}
+
+bool DecodeTraceContext(const uint8_t* payload, size_t len,
+                        TraceContext* context) {
+  if (len < kTraceContextBytes) return false;
+  context->trace_id = GetU64(payload);
+  context->sampled = (payload[8] & kTraceContextSampled) != 0;
+  return true;
 }
 
 void EncodeInsertResponse(uint64_t request_id, uint64_t failures,
@@ -221,6 +245,7 @@ void EncodeStatsRequest(uint64_t request_id, uint8_t max_version,
 
 uint8_t StatsRequestVersion(const uint8_t* payload, size_t len) {
   if (len == 0 || payload == nullptr) return kStatsPayloadV1;
+  if (payload[0] >= kStatsPayloadV3) return kStatsPayloadV3;
   return payload[0] >= kStatsPayloadV2 ? kStatsPayloadV2 : kStatsPayloadV1;
 }
 
@@ -246,10 +271,23 @@ void EncodeStatsV2Response(uint64_t request_id, const WireStats& stats,
               payload.size(), out);
 }
 
+void EncodeStatsV3Response(uint64_t request_id, const WireStats& stats,
+                           std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U8(kStatsPayloadV3);
+  WriteStatsV1Fields(&w, stats);
+  w.U64(stats.front_cache_misses);
+  obs::EncodeMetricSamples(stats.metrics, &payload);
+  w.U32(stats.capabilities);
+  AppendFrame(Opcode::kStats, kFlagResponse, request_id, payload.data(),
+              payload.size(), out);
+}
+
 bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats) {
   ByteReader r(payload, len);
   const uint8_t version = r.U8();
-  if (version != kStatsPayloadV1 && version != kStatsPayloadV2) return false;
+  if (version < kStatsPayloadV1 || version > kStatsPayloadV3) return false;
   WireStats out;
   out.filter_name = r.Str();
   out.capacity = r.U64();
@@ -275,8 +313,86 @@ bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats) {
     out.front_cache_misses = r.U64();
     if (!obs::DecodeMetricSamples(&r, &out.metrics)) return false;
   }
+  if (version >= kStatsPayloadV3) {
+    out.capabilities = r.U32();
+  }
   if (!r.ok() || r.remaining() != 0) return false;
   *stats = std::move(out);
+  return true;
+}
+
+void EncodeTracesResponse(uint64_t request_id,
+                          const std::vector<obs::Trace>& traces,
+                          std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  const size_t count =
+      traces.size() < kMaxWireTraces ? traces.size() : kMaxWireTraces;
+  w.U32(static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const obs::Trace& t = traces[i];
+    w.U64(t.trace_id);
+    w.U64(t.request_id);
+    w.U64(t.conn_id);
+    w.U64(t.start_ns);
+    w.U64(t.end_ns);
+    w.U32(t.loop);
+    w.U32(t.key_count);
+    w.U32(t.frames);
+    w.U32(t.spans_dropped);
+    w.U8(t.opcode);
+    w.U8(t.flags);
+    const uint32_t span_count = t.span_count <= obs::kMaxTraceSpans
+                                    ? t.span_count
+                                    : obs::kMaxTraceSpans;
+    w.U32(span_count);
+    for (uint32_t s = 0; s < span_count; ++s) {
+      w.U8(t.spans[s].stage);
+      w.U64(t.spans[s].start_ns);
+      w.U64(t.spans[s].end_ns);
+      w.U64(t.spans[s].detail);
+    }
+  }
+  AppendFrame(Opcode::kTraces, kFlagResponse, request_id, payload.data(),
+              payload.size(), out);
+}
+
+bool DecodeTracesPayload(const uint8_t* payload, size_t len,
+                         std::vector<obs::Trace>* traces) {
+  ByteReader r(payload, len);
+  const uint32_t count = r.U32();
+  // 51 bytes of fixed fields per trace must fit in what remains; bounds the
+  // allocation against hostile counts.
+  if (!r.ok() || count > kMaxWireTraces ||
+      static_cast<size_t>(count) * 51 > r.remaining()) {
+    return false;
+  }
+  std::vector<obs::Trace> out;
+  out.resize(count);
+  for (obs::Trace& t : out) {
+    t.trace_id = r.U64();
+    t.request_id = r.U64();
+    t.conn_id = r.U64();
+    t.start_ns = r.U64();
+    t.end_ns = r.U64();
+    t.loop = r.U32();
+    t.key_count = r.U32();
+    t.frames = r.U32();
+    t.spans_dropped = r.U32();
+    t.opcode = r.U8();
+    t.flags = r.U8();
+    const uint32_t span_count = r.U32();
+    if (!r.ok() || span_count > obs::kMaxTraceSpans) return false;
+    t.span_count = span_count;
+    for (uint32_t s = 0; s < span_count; ++s) {
+      t.spans[s].stage = r.U8();
+      t.spans[s].start_ns = r.U64();
+      t.spans[s].end_ns = r.U64();
+      t.spans[s].detail = r.U64();
+    }
+  }
+  if (!r.ok() || r.remaining() != 0) return false;
+  *traces = std::move(out);
   return true;
 }
 

@@ -15,7 +15,8 @@
 //        0     4  magic        0x50464E31 ("PFN1")
 //        4     1  version      kProtocolVersion (1)
 //        5     1  opcode       Opcode below
-//        6     2  flags        bit 0 = response, bit 1 = error response
+//        6     2  flags        bit 0 = response, bit 1 = error response,
+//                              bit 2 = payload starts with a trace context
 //        8     8  request_id   client-chosen, echoed verbatim in the response
 //       16     4  payload_len  bytes following the header (<= kMaxPayload)
 //       20     4  checksum     CRC-32 (IEEE) of the payload bytes
@@ -27,13 +28,27 @@
 //   STATS        request:                empty (v1) or u8 max payload
 //                                        version the client accepts (>= 2)
 //   STATS        response:               WireStats; payload version byte 1
-//                                        (legacy fields) or 2 (adds
-//                                        front_cache_misses + metrics blob)
+//                                        (legacy fields), 2 (adds
+//                                        front_cache_misses + metrics blob),
+//                                        or 3 (adds u32 capabilities)
 //   SNAPSHOT     request:                empty
 //   SNAPSHOT     response:               AnyFilter envelope bytes (the same
 //                                        image FilterService::Snapshot writes)
+//   TRACES       request:                empty
+//   TRACES       response:               captured trace records (see
+//                                        EncodeTracesResponse)
 //   error        response:               u32 ErrorCode, then u32-length-
 //                                        prefixed UTF-8 message
+//
+// Trace context (kFlagTraced, bit 2): when set on a request, the payload is
+// prefixed with kTraceContextBytes of trace context — u64 trace id + u8
+// context flags (bit 0 = sampled) — and the opcode's normal payload follows.
+// The bit is strictly opt-in and version-negotiated: a server advertises
+// kCapTraceContext in its STATS v3 capabilities, and a client that has not
+// seen that capability must never set the bit (a pre-tracing server's exact
+// payload-length validation would reject the frame).  With the bit unset
+// every frame is byte-identical to the pre-tracing protocol, so old and new
+// peers interoperate both ways — the same discipline as STATS v2.
 //
 // Response ordering: the request_id echo is the correlation contract.  A
 // synchronous (no worker pool) server answers every frame in request order,
@@ -63,6 +78,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace prefixfilter::net {
 
@@ -81,6 +97,7 @@ enum class Opcode : uint8_t {
   kQueryBatch = 2,
   kStats = 3,
   kSnapshot = 4,
+  kTraces = 5,
 };
 
 // Returns true for the opcodes this version understands.
@@ -88,6 +105,9 @@ bool IsKnownOpcode(uint8_t raw);
 
 inline constexpr uint16_t kFlagResponse = 1u << 0;
 inline constexpr uint16_t kFlagError = 1u << 1;
+// Request payload begins with a trace context (see the header comment; only
+// valid after the server advertised kCapTraceContext via STATS v3).
+inline constexpr uint16_t kFlagTraced = 1u << 2;
 
 enum class ErrorCode : uint32_t {
   kBadRequest = 1,   // well-framed but semantically invalid payload
@@ -121,6 +141,31 @@ void EncodeKeyBatchRequest(Opcode opcode, uint64_t request_id,
                            std::vector<uint8_t>* out);
 void EncodeEmptyRequest(Opcode opcode, uint64_t request_id,
                         std::vector<uint8_t>* out);
+
+// --- trace context (kFlagTraced payload prefix) -----------------------------
+
+// The per-request trace context carried ahead of a traced request's payload.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  bool sampled = false;
+};
+
+// Wire size of the prefix: u64 trace_id + u8 context flags.
+inline constexpr size_t kTraceContextBytes = 9;
+inline constexpr uint8_t kTraceContextSampled = 1u << 0;
+
+// Key-batch request with kFlagTraced set and the context prefixed to the
+// payload.  Callers must have negotiated kCapTraceContext first.
+void EncodeTracedKeyBatchRequest(Opcode opcode, uint64_t request_id,
+                                 const TraceContext& context,
+                                 const uint64_t* keys, size_t count,
+                                 std::vector<uint8_t>* out);
+
+// Parses the trace-context prefix of a kFlagTraced payload.  False when the
+// payload is shorter than the prefix; on success the caller consumes
+// kTraceContextBytes and parses the remainder as the opcode's normal payload.
+bool DecodeTraceContext(const uint8_t* payload, size_t len,
+                        TraceContext* context);
 
 // Response encoders (server side).
 void EncodeInsertResponse(uint64_t request_id, uint64_t failures,
@@ -187,10 +232,20 @@ struct WireStats {
   // --- v2 fields (zero/empty when decoded from a v1 payload) ----------------
   uint64_t front_cache_misses = 0;
   std::vector<obs::MetricSample> metrics;
+  // --- v3 fields (zero when decoded from a v1/v2 payload) -------------------
+  // Capability bitmask (kCap*): the negotiation handle for optional protocol
+  // extensions.  A pre-v3 server never sends it, so its absence reads as
+  // "no capabilities" on old servers — exactly the safe default.
+  uint32_t capabilities = 0;
 };
 
 inline constexpr uint8_t kStatsPayloadV1 = 1;
 inline constexpr uint8_t kStatsPayloadV2 = 2;
+inline constexpr uint8_t kStatsPayloadV3 = 3;
+
+// WireStats::capabilities bits.
+inline constexpr uint32_t kCapTraceContext = 1u << 0;  // accepts kFlagTraced
+inline constexpr uint32_t kCapTraces = 1u << 1;        // serves Opcode::kTraces
 
 // STATS request advertising the highest payload version the client decodes
 // (kStatsPayloadV1 encodes the legacy empty payload).
@@ -203,10 +258,30 @@ void EncodeStatsResponse(uint64_t request_id, const WireStats& stats,
 // v2 response: v1 fields + front_cache_misses + stats.metrics.
 void EncodeStatsV2Response(uint64_t request_id, const WireStats& stats,
                            std::vector<uint8_t>* out);
-// Accepts payload versions 1 and 2.
+// v3 response: v2 fields + u32 capabilities.
+void EncodeStatsV3Response(uint64_t request_id, const WireStats& stats,
+                           std::vector<uint8_t>* out);
+// Accepts payload versions 1, 2, and 3.
 bool DecodeStatsPayload(const uint8_t* payload, size_t len, WireStats* stats);
-// The payload version a STATS *request* asks for (empty payload = v1).
+// The payload version a STATS *request* asks for (empty payload = v1).  A
+// request advertising a version newer than this build clamps to the newest
+// version the build speaks — how old servers answer future clients.
 uint8_t StatsRequestVersion(const uint8_t* payload, size_t len);
+
+// --- TRACES payload ---------------------------------------------------------
+
+// Cap on traces per response frame; bounds the decoder's allocation.
+inline constexpr uint32_t kMaxWireTraces = 4096;
+
+// Response payload: u32 trace count, then per trace the fixed Trace fields
+// followed by its span list.  Request is EncodeEmptyRequest(kTraces, ...);
+// pre-tracing servers answer kUnsupported, which clients treat as "no
+// traces" rather than an error.
+void EncodeTracesResponse(uint64_t request_id,
+                          const std::vector<obs::Trace>& traces,
+                          std::vector<uint8_t>* out);
+bool DecodeTracesPayload(const uint8_t* payload, size_t len,
+                         std::vector<obs::Trace>* traces);
 
 // --- incremental decoding ---------------------------------------------------
 

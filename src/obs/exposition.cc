@@ -49,7 +49,11 @@ void AppendLabels(
     if (!first) out->push_back(',');
     *out += extra_key;
     *out += "=\"";
-    *out += extra_value;
+    // Escaped like every other label value (0.0.4 spec: backslash, quote,
+    // newline).  The internal "le" values are digits/+Inf, but callers may
+    // pass arbitrary strings and an unescaped quote would corrupt the whole
+    // exposition line.
+    AppendEscaped(extra_value, out);
     out->push_back('"');
   }
   out->push_back('}');
@@ -64,6 +68,14 @@ void AppendU64(uint64_t v, std::string* out) {
 void AppendI64(int64_t v, std::string* out) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+// Fixed-width hex, matching the trace-id rendering of GET /traces so the
+// ids grep across both outputs.
+void AppendHex16(uint64_t v, std::string* out) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
   *out += buf;
 }
 
@@ -218,6 +230,20 @@ std::string RenderPrometheusText(const std::vector<MetricSample>& samples) {
       out.push_back(' ');
       AppendU64(s.hist.count, &out);
       out.push_back('\n');
+      // Trace exemplars as comments: the 0.0.4 text format has no exemplar
+      // syntax (that is OpenMetrics), and comment lines pass through every
+      // 0.0.4 parser untouched.  Each pairs a recorded value with the trace
+      // id to look up under GET /traces.
+      for (const auto& ex : s.hist.exemplars) {
+        out += "# exemplar ";
+        out += name;
+        AppendLabels(s.labels, std::string(), std::string(), &out);
+        out += " value=";
+        AppendU64(ex.value, &out);
+        out += " trace_id=";
+        AppendHex16(ex.trace_id, &out);
+        out.push_back('\n');
+      }
     } else {
       out += name;
       AppendLabels(s.labels, std::string(), std::string(), &out);

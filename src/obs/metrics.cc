@@ -64,6 +64,15 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
   uint64_t bucket_total = 0;
   for (const auto& [index, c] : snap.buckets) bucket_total += c;
   snap.count = bucket_total;
+  for (uint32_t i = 0; i < kExemplarCells; ++i) {
+    const uint64_t trace_id =
+        exemplars_[i].trace_id.load(std::memory_order_relaxed);
+    if (trace_id == 0) continue;  // cell never wrote an exemplar
+    HistogramSnapshot::Exemplar ex;
+    ex.value = exemplars_[i].value.load(std::memory_order_relaxed);
+    ex.trace_id = trace_id;
+    snap.exemplars.push_back(ex);
+  }
   return snap;
 }
 
@@ -95,6 +104,8 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
     }
   }
   buckets = std::move(merged);
+  exemplars.insert(exemplars.end(), other.exemplars.begin(),
+                   other.exemplars.end());
 }
 
 double HistogramSnapshot::Percentile(double q) const {

@@ -126,6 +126,16 @@ struct HistogramSnapshot {
   uint64_t max = 0;
   // Sparse (bucket index, count) pairs in ascending index order.
   std::vector<std::pair<uint32_t, uint64_t>> buckets;
+  // Best-effort trace exemplars: the most recent (value, trace id) pair per
+  // octave that went through RecordWithExemplar — the jump-off point from a
+  // histogram's tail to the /traces timeline that produced it.  NOT part of
+  // the STATS wire encoding (old decoders require the payload to end after
+  // the buckets); the Prometheus text exposition renders them as comments.
+  struct Exemplar {
+    uint64_t value = 0;
+    uint64_t trace_id = 0;
+  };
+  std::vector<Exemplar> exemplars;
 
   void Merge(const HistogramSnapshot& other);
   // Value at quantile q in [0, 1]: the upper edge of the bucket holding the
@@ -177,14 +187,40 @@ class LatencyHistogram {
 #endif
   }
 
+  // Record() plus an exemplar: remembers (value, trace_id) in the octave
+  // cell the value lands in, so a scrape can point from a latency bucket to
+  // the retained trace that produced it.  Best-effort under concurrency —
+  // two racing writers may pair one's value with the other's trace id; an
+  // exemplar is a debugging pointer, not an accounting record.
+  void RecordWithExemplar(uint64_t value, uint64_t trace_id) {
+#ifndef PF_OBS_DISABLED
+    Record(value);
+    ExemplarCell& cell = exemplars_[BucketIndex(value) >> kSubBits];
+    cell.value.store(value, std::memory_order_relaxed);
+    cell.trace_id.store(trace_id, std::memory_order_relaxed);
+#else
+    (void)value;
+    (void)trace_id;
+#endif
+  }
+
   HistogramSnapshot Snapshot() const;
 
  private:
+  // One exemplar cell per octave (the 0..15 unit buckets share cell 0).
+  static constexpr uint32_t kExemplarCells = kOctaves + 1;
+
+  struct ExemplarCell {
+    std::atomic<uint64_t> value{0};
+    std::atomic<uint64_t> trace_id{0};
+  };
+
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{~uint64_t{0}};
   std::atomic<uint64_t> max_{0};
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  ExemplarCell exemplars_[kExemplarCells];
 };
 
 // Records NowNanos() elapsed between construction and destruction into a

@@ -1,0 +1,161 @@
+#include "src/obs/trace_sink.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/json.h"
+
+namespace prefixfilter::obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+constexpr size_t kDefaultCapacity = 256;
+
+// Trace ids render as fixed-width hex strings: JSON numbers are doubles and
+// would silently round 64-bit ids.
+std::string HexId(uint64_t id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(new Slot[RoundUpPow2(capacity == 0 ? kDefaultCapacity
+                                                : capacity)]),
+      mask_(RoundUpPow2(capacity == 0 ? kDefaultCapacity : capacity) - 1) {}
+
+void TraceRing::Push(const Trace& trace) {
+#ifndef PF_OBS_DISABLED
+  uint64_t words[kWords];
+  std::memcpy(words, &trace, sizeof(Trace));
+  const uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1u) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    // Another writer owns the slot; drop rather than wait.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)trace;
+#endif
+}
+
+void TraceRing::Snapshot(std::vector<Trace>* out) const {
+#ifndef PF_OBS_DISABLED
+  for (size_t i = 0; i <= mask_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint32_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1u) != 0) continue;  // never written / in flight
+    uint64_t words[kWords];
+    for (size_t w = 0; w < kWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // The fence orders the word loads before the seq re-check: an unchanged
+    // seq proves no writer touched the slot while we copied.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq) continue;
+    Trace trace;
+    std::memcpy(&trace, words, sizeof(Trace));
+    out->push_back(trace);
+  }
+#else
+  (void)out;
+#endif
+}
+
+TraceSink::TraceSink(size_t capacity_per_ring)
+    : sampled_(capacity_per_ring), slow_(capacity_per_ring) {}
+
+void TraceSink::Push(const Trace& trace) {
+#ifndef PF_OBS_DISABLED
+  if (trace.slow()) {
+    slow_.Push(trace);
+  } else {
+    sampled_.Push(trace);
+  }
+#else
+  (void)trace;
+#endif
+}
+
+std::vector<Trace> TraceSink::Snapshot() const {
+  std::vector<Trace> out;
+  slow_.Snapshot(&out);
+  sampled_.Snapshot(&out);
+  return out;
+}
+
+TraceSinkStats TraceSink::stats() const {
+  TraceSinkStats stats;
+  stats.sampled = sampled_.pushed();
+  stats.slow = slow_.pushed();
+  stats.dropped = sampled_.dropped() + slow_.dropped();
+  return stats;
+}
+
+std::string RenderTracesJson(const std::vector<Trace>& traces,
+                             const TraceSinkStats& stats) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("sampled_total", stats.sampled);
+  doc.Set("slow_total", stats.slow);
+  doc.Set("dropped_total", stats.dropped);
+  doc.Set("trace_count", static_cast<uint64_t>(traces.size()));
+  json::Value list = json::Value::MakeArray();
+  for (const Trace& t : traces) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("trace_id", HexId(t.trace_id));
+    entry.Set("request_id", t.request_id);
+    entry.Set("opcode", static_cast<uint64_t>(t.opcode));
+    entry.Set("loop", static_cast<uint64_t>(t.loop));
+    entry.Set("conn_id", t.conn_id);
+    entry.Set("sampled", t.sampled());
+    entry.Set("slow", t.slow());
+    entry.Set("start_ns", t.start_ns);
+    entry.Set("duration_ns", t.end_ns >= t.start_ns ? t.end_ns - t.start_ns
+                                                    : uint64_t{0});
+    entry.Set("key_count", static_cast<uint64_t>(t.key_count));
+    entry.Set("frames", static_cast<uint64_t>(t.frames));
+    entry.Set("spans_dropped", static_cast<uint64_t>(t.spans_dropped));
+    json::Value spans = json::Value::MakeArray();
+    const uint32_t span_count =
+        t.span_count <= kMaxTraceSpans ? t.span_count : kMaxTraceSpans;
+    for (uint32_t i = 0; i < span_count; ++i) {
+      const TraceSpan& s = t.spans[i];
+      json::Value span = json::Value::MakeObject();
+      span.Set("stage", TraceStageName(static_cast<TraceStage>(s.stage)));
+      // Span times are offsets from the trace start: small, stable numbers
+      // that survive the double-typed JSON number representation.
+      span.Set("start_ns",
+               s.start_ns >= t.start_ns ? s.start_ns - t.start_ns
+                                        : uint64_t{0});
+      span.Set("duration_ns", s.end_ns >= s.start_ns ? s.end_ns - s.start_ns
+                                                     : uint64_t{0});
+      if (s.detail != 0) span.Set("detail", s.detail);
+      spans.AsArray().push_back(std::move(span));
+    }
+    entry.Set("spans", std::move(spans));
+    list.AsArray().push_back(std::move(entry));
+  }
+  doc.Set("traces", std::move(list));
+  return doc.Dump(2) + "\n";
+}
+
+}  // namespace prefixfilter::obs

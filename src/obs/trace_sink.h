@@ -1,0 +1,106 @@
+// Lock-free bounded retention for captured traces.
+//
+// TraceRing is a fixed-capacity ring of per-slot seqlocks whose payload is
+// stored entirely in std::atomic<uint64_t> words: writers memcpy the Trace
+// into a local word buffer and store the words relaxed between an odd/even
+// seq transition; readers load the words relaxed and accept the copy only
+// when the seq survives unchanged across an acquire fence.  Every byte of
+// shared state is accessed atomically, so the ring is data-race-free by
+// construction (TSan-clean without annotations), and a writer never blocks:
+// colliding with a slot another writer holds counts a drop instead of
+// spinning — the event loop and the worker pool must never wait on
+// telemetry.
+//
+// TraceSink pairs two rings: head-sampled traces and slow-threshold
+// captures are retained separately, so a flood of sampled traffic can never
+// evict the rare slow request the tail-capture path exists to keep.
+// Memory is bounded at 2 * capacity * sizeof(Trace) (~1KB per slot).
+//
+// RenderTracesJson turns a snapshot into the `GET /traces` JSON document
+// (src/util/json), newest-write-wins per slot, slow captures first.
+#ifndef PREFIXFILTER_SRC_OBS_TRACE_SINK_H_
+#define PREFIXFILTER_SRC_OBS_TRACE_SINK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace prefixfilter::obs {
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two; 0 means the default (256).
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Publishes a copy of `trace`; never blocks.  A slot collision with a
+  // concurrent writer drops the trace (counted).  No-op under PF_OBS=OFF.
+  void Push(const Trace& trace);
+
+  // Appends every consistently-readable retained trace to *out.  Slots a
+  // writer is mid-update on are skipped, not waited for.
+  void Snapshot(std::vector<Trace>* out) const;
+
+  size_t capacity() const { return mask_ + 1; }
+  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kWords = sizeof(Trace) / sizeof(uint64_t);
+
+  struct Slot {
+    // Even = stable (0 = never written), odd = a writer owns the slot.
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> words[kWords] = {};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+struct TraceSinkStats {
+  uint64_t sampled = 0;  // traces retained via head sampling
+  uint64_t slow = 0;     // traces retained via the slow threshold
+  uint64_t dropped = 0;  // writer collisions (both rings)
+};
+
+class TraceSink {
+ public:
+  // One capacity for each of the two rings (0 = default 256 each).
+  explicit TraceSink(size_t capacity_per_ring);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Routes on Trace::slow(): slow captures land in their own ring so
+  // sampled traffic cannot evict them.  No-op under PF_OBS=OFF.
+  void Push(const Trace& trace);
+
+  // Slow captures first, then sampled traces (the order /traces renders).
+  std::vector<Trace> Snapshot() const;
+
+  TraceSinkStats stats() const;
+
+ private:
+  TraceRing sampled_;
+  TraceRing slow_;
+};
+
+// JSON document for `GET /traces` and the pf_stat --traces view: counters
+// plus one object per trace with its span timeline.
+std::string RenderTracesJson(const std::vector<Trace>& traces,
+                             const TraceSinkStats& stats);
+
+}  // namespace prefixfilter::obs
+
+#endif  // PREFIXFILTER_SRC_OBS_TRACE_SINK_H_

@@ -83,11 +83,13 @@ std::future<std::vector<uint8_t>> FilterService::QueryBatch(
 }
 
 void FilterService::QueryBatchAsync(std::vector<uint64_t> keys,
-                                    QueryCallback done) {
+                                    QueryCallback done,
+                                    std::shared_ptr<obs::ActiveTrace> trace) {
   Request request;
   request.is_insert = false;
   request.keys = std::move(keys);
   request.query_callback = std::move(done);
+  request.trace = std::move(trace);
   Enqueue(std::move(request));
 }
 
@@ -124,7 +126,8 @@ void FilterService::Execute(Request& request) {
         InsertBatchSync(request.keys.data(), request.keys.size()));
   } else {
     std::vector<uint8_t> out(request.keys.size());
-    QueryBatchSync(request.keys.data(), request.keys.size(), out.data());
+    QueryBatchSync(request.keys.data(), request.keys.size(), out.data(),
+                   request.trace.get());
     if (request.query_callback) {
       request.query_callback(std::move(out));
     } else {
@@ -145,7 +148,7 @@ uint64_t FilterService::InsertBatchSync(const uint64_t* keys, size_t count) {
 }
 
 void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
-                                   uint8_t* out) {
+                                   uint8_t* out, obs::ActiveTrace* trace) {
   if (query_fault_hook_armed_.load(std::memory_order_acquire)) {
     std::function<void(const uint64_t*, size_t)> hook;
     {
@@ -156,8 +159,17 @@ void FilterService::QueryBatchSync(const uint64_t* keys, size_t count,
   }
   obs::ScopedLatency timer(query_exec_hist_);
   query_batch_keys_hist_->Record(count);
-  ReaderMutexLock snapshot_guard(snapshot_mutex_);
-  QueryLocked(keys, count, out);
+  const uint64_t exec_start_ns = trace != nullptr ? obs::NowNanos() : 0;
+  {
+    ReaderMutexLock snapshot_guard(snapshot_mutex_);
+    // Deep layers (ShardedFilter's per-shard probes) pick the trace up via
+    // the thread-local; the shard-probe spans land inside the exec span.
+    obs::ScopedCurrentTrace current(trace);
+    QueryLocked(keys, count, out);
+  }
+  if (trace != nullptr) {
+    trace->AddSpan(obs::TraceStage::kExec, exec_start_ns, obs::NowNanos());
+  }
   query_batches_.fetch_add(1, std::memory_order_relaxed);
   keys_queried_.fetch_add(count, std::memory_order_relaxed);
 }
@@ -249,7 +261,12 @@ void FilterService::WorkerLoop() {
       ++in_flight_;
     }
     queue_depth_gauge_->Add(-1);
-    queue_wait_hist_->Record(obs::NowNanos() - request.enqueue_ns);
+    const uint64_t picked_up_ns = obs::NowNanos();
+    queue_wait_hist_->Record(picked_up_ns - request.enqueue_ns);
+    if (request.trace != nullptr) {
+      request.trace->AddSpan(obs::TraceStage::kQueueWait, request.enqueue_ns,
+                             picked_up_ns);
+    }
     queue_nonfull_.NotifyOne();
     Execute(request);
     {

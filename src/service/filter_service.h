@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/front_cache.h"
 #include "src/service/sharded_filter.h"
 #include "src/util/thread_annotations.h"
@@ -96,7 +97,11 @@ class FilterService {
   // filter execution.  Backpressure is unchanged — submission still blocks
   // while the queue is at max_pending (callers wanting a hard non-blocking
   // guarantee must cap their own in-flight count below max_pending).
-  void QueryBatchAsync(std::vector<uint64_t> keys, QueryCallback done);
+  // A non-null `trace` rides along: the worker records queue-wait and exec
+  // spans into it (plus per-shard probe spans via the thread-local
+  // CurrentTrace()) before the callback fires.
+  void QueryBatchAsync(std::vector<uint64_t> keys, QueryCallback done,
+                       std::shared_ptr<obs::ActiveTrace> trace = nullptr);
 
   // Synchronous batch entry points for callers that already own a thread
   // (the network event loop hands decoded frames straight here): they bypass
@@ -104,7 +109,10 @@ class FilterService {
   // same stats, and ride the same BatchRouter/front-cache path as queued
   // batches.  Safe concurrently with queued traffic.
   uint64_t InsertBatchSync(const uint64_t* keys, size_t count);
-  void QueryBatchSync(const uint64_t* keys, size_t count, uint8_t* out);
+  // A non-null `trace` receives the exec span and (via CurrentTrace()) the
+  // per-shard probe spans recorded while the batch runs.
+  void QueryBatchSync(const uint64_t* keys, size_t count, uint8_t* out,
+                      obs::ActiveTrace* trace = nullptr);
 
   // Synchronous single-key fast path (bypasses the queue; safe concurrently
   // with batch traffic — shard locks serialize).  Served from the front
@@ -157,6 +165,10 @@ class FilterService {
     QueryCallback query_callback;
     // Enqueue timestamp feeding the service.queue.wait.ns histogram.
     uint64_t enqueue_ns = 0;
+    // Non-null when the request is traced: the worker records queue-wait,
+    // exec, and shard-probe spans into it.  shared_ptr because the network
+    // layer keeps its own reference until the completion drains.
+    std::shared_ptr<obs::ActiveTrace> trace;
   };
 
   void Enqueue(Request request) PF_EXCLUDES(mutex_);

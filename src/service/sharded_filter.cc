@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/service/batch_router.h"
 #include "src/util/bits.h"
 #include "src/util/serialize.h"
@@ -170,13 +171,27 @@ void ShardedFilter::QueryShard(uint32_t shard_index, const uint64_t* keys,
   // off).  A null histogram (metrics not enabled) costs one predictable
   // branch.
   if (group_keys_hist_ != nullptr) group_keys_hist_->Record(count);
-  Shard& shard = *shards_[shard_index];
-  MutexLock guard(shard.mutex);
-  shard.filter->ContainsBatch(keys, count, out);
-  shard.stats.queries += count;
-  uint64_t hits = 0;
-  for (size_t i = 0; i < count; ++i) hits += out[i];
-  shard.stats.hits += hits;
+  // Traced requests record one span per shard group probed, including the
+  // wait for the shard lock (lock contention is exactly what a slow-request
+  // timeline needs to show).  Picked up through the thread-local so the
+  // AnyFilter interface stays trace-free; constant-nullptr when PF_OBS=OFF.
+  obs::ActiveTrace* trace = obs::CurrentTrace();
+  const uint64_t probe_start_ns = trace != nullptr ? obs::NowNanos() : 0;
+  {
+    Shard& shard = *shards_[shard_index];
+    MutexLock guard(shard.mutex);
+    shard.filter->ContainsBatch(keys, count, out);
+    shard.stats.queries += count;
+    uint64_t hits = 0;
+    for (size_t i = 0; i < count; ++i) hits += out[i];
+    shard.stats.hits += hits;
+  }
+  if (trace != nullptr) {
+    trace->AddSpan(obs::TraceStage::kShardProbe, probe_start_ns,
+                   obs::NowNanos(),
+                   (static_cast<uint64_t>(shard_index) << 32) |
+                       static_cast<uint64_t>(count & 0xffffffffu));
+  }
 }
 
 uint64_t ShardedFilter::InsertShard(uint32_t shard_index,

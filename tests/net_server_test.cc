@@ -882,5 +882,203 @@ TEST(MembershipServer, StopDrainsInflightOffloadedWorkAndLeaksNoFds) {
   EXPECT_EQ(CountOpenFds(), fds_before);
 }
 
+// --- request tracing ---------------------------------------------------------
+
+// True when `t` carries a span for `stage`.
+bool HasStage(const obs::Trace& t, obs::TraceStage stage) {
+  for (uint32_t i = 0; i < t.span_count && i < obs::kMaxTraceSpans; ++i) {
+    if (t.spans[i].stage == static_cast<uint8_t>(stage)) return true;
+  }
+  return false;
+}
+
+TEST(MembershipServer, TracedRequestsCaptureFullPipelineTimelines) {
+  obs::MetricsRegistry registry;
+  auto service = MakeThreadedService(20000, /*num_threads=*/2, &registry);
+  ServerOptions options;
+  options.trace_sample_rate = 1.0;  // head-sample every merged batch
+  options.registry = &registry;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  MembershipClient client(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(4096, 961);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryBatch(keys.data(), 256, &answers));
+  ASSERT_EQ(answers.size(), 256u);
+
+  // TRACES rides the same connection, so it is served strictly after the
+  // query's trace was finished and pushed.
+  std::vector<obs::Trace> traces;
+  ASSERT_TRUE(client.Traces(&traces)) << client.error();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(traces.empty());  // PF_OBS=OFF: nothing is ever recorded
+    return;
+  }
+  ASSERT_FALSE(traces.empty());
+
+  // An offloaded query's timeline covers the whole pipeline: decode, queue
+  // wait, worker exec with per-shard probes inside, completion transit back
+  // to the loop, and the response write.
+  bool full_timeline = false;
+  for (const obs::Trace& t : traces) {
+    for (uint32_t i = 0; i < t.span_count && i < obs::kMaxTraceSpans; ++i) {
+      ASSERT_LT(t.spans[i].stage, obs::kNumTraceStages);
+      EXPECT_GE(t.spans[i].end_ns, t.spans[i].start_ns);
+    }
+    if (t.opcode != static_cast<uint8_t>(Opcode::kQueryBatch)) continue;
+    if (HasStage(t, obs::TraceStage::kReadDecode) &&
+        HasStage(t, obs::TraceStage::kQueueWait) &&
+        HasStage(t, obs::TraceStage::kExec) &&
+        HasStage(t, obs::TraceStage::kShardProbe) &&
+        HasStage(t, obs::TraceStage::kCompletion) &&
+        HasStage(t, obs::TraceStage::kWrite)) {
+      EXPECT_TRUE(t.sampled());
+      EXPECT_GT(t.key_count, 0u);
+      EXPECT_GE(t.end_ns, t.start_ns);
+      full_timeline = true;
+    }
+  }
+  EXPECT_TRUE(full_timeline) << "no query trace covered decode + queue_wait + "
+                                "exec + shard_probe + completion + write";
+}
+
+TEST(MembershipServer, SlowRequestsAreTailCapturedWithoutHeadSampling) {
+  auto service = MakeThreadedService(20000, /*num_threads=*/2);
+  ServerOptions options;
+  options.trace_sample_rate = 0.0;  // head sampling fully off
+  options.trace_slow_ns = 5'000'000;  // 5ms: only the stalled batch trips it
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  MembershipClient client(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(4096, 971);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+
+  // One fast query (finishes in microseconds, must NOT be retained), then a
+  // marker query the fault hook stalls past the slow threshold.
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryBatch(keys.data(), 64, &answers));
+  service->SetQueryFaultHookForTesting([](const uint64_t* batch, size_t n) {
+    if (BatchHasMarker(batch, n)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+  std::vector<uint64_t> marked = {kMarkerKey, keys[0], keys[1]};
+  ASSERT_TRUE(client.QueryBatch(marked.data(), marked.size(), &answers));
+  service->SetQueryFaultHookForTesting(nullptr);
+
+  std::vector<obs::Trace> traces;
+  ASSERT_TRUE(client.Traces(&traces)) << client.error();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(traces.empty());
+    return;
+  }
+  // Tail capture retained exactly the stalled request: every trace present
+  // is slow (never head-sampled), and at least one exceeded the threshold.
+  ASSERT_FALSE(traces.empty()) << "slow request was not tail-captured";
+  bool stalled_seen = false;
+  for (const obs::Trace& t : traces) {
+    EXPECT_TRUE(t.slow());
+    EXPECT_FALSE(t.sampled());
+    if (t.end_ns - t.start_ns >= options.trace_slow_ns &&
+        t.key_count == marked.size()) {
+      stalled_seen = true;
+    }
+  }
+  EXPECT_TRUE(stalled_seen) << "retained traces do not include the stall";
+}
+
+TEST(MembershipClient, NegotiatesTraceCapabilityAndPropagatesContext) {
+  auto service = MakeService(20000);
+  ServerOptions options;
+  options.trace_sample_rate = 0.0;  // server does no head sampling of its own
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.trace_sample_rate = 1.0;  // client marks every query frame
+  MembershipClient client(client_options);
+
+  // STATS v3 advertises the tracing capabilities (none under PF_OBS=OFF —
+  // exactly what tells the client to degrade to plain frames).
+  WireStats stats;
+  ASSERT_TRUE(client.StatsV3(&stats)) << client.error();
+  const uint32_t expected =
+      obs::kEnabled ? (kCapTraceContext | kCapTraces) : 0u;
+  EXPECT_EQ(stats.capabilities, expected);
+
+  const auto keys = RandomKeys(1024, 981);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+  std::vector<uint8_t> answers;
+  ASSERT_TRUE(client.QueryBatch(keys.data(), 128, &answers));
+  ASSERT_EQ(answers.size(), 128u);
+  for (uint8_t a : answers) EXPECT_EQ(a, 1);
+
+  std::vector<obs::Trace> traces;
+  ASSERT_TRUE(client.Traces(&traces)) << client.error();
+  if (!obs::kEnabled) {
+    EXPECT_EQ(client.frames_traced(), 0u);  // degraded: no traced frames sent
+    EXPECT_TRUE(traces.empty());
+    return;
+  }
+  // The client stamped the frame, and the server — its own sampling off —
+  // honored the propagated context and retained the trace as sampled.
+  EXPECT_GT(client.frames_traced(), 0u);
+  bool sampled_query = false;
+  for (const obs::Trace& t : traces) {
+    if (t.opcode == static_cast<uint8_t>(Opcode::kQueryBatch) && t.sampled()) {
+      sampled_query = true;
+    }
+  }
+  EXPECT_TRUE(sampled_query) << "client-propagated context was not honored";
+}
+
+TEST(MembershipServer, HttpTracesEndpointRendersSpanTimelines) {
+  obs::MetricsRegistry registry;  // local registry: isolated from other tests
+  auto service = MakeThreadedService(20000, /*num_threads=*/2, &registry);
+  ServerOptions options;
+  options.enable_http = true;
+  options.registry = &registry;
+  options.trace_sample_rate = 1.0;
+  MembershipServer server(service, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  ASSERT_NE(server.http_port(), 0);
+
+  MembershipClient client(ClientOptions{.port = server.port()});
+  const auto keys = RandomKeys(8192, 991);
+  uint64_t failures = 0;
+  ASSERT_TRUE(client.InsertBatch(keys.data(), keys.size(), &failures));
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<uint8_t> answers;
+    ASSERT_TRUE(client.QueryBatch(keys.data() + rep * 512, 512, &answers));
+  }
+
+  const std::string response = HttpExchange(
+      server.http_port(), "GET /traces HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  // The document shape is served even when nothing is retained.
+  EXPECT_NE(body.find("\"trace_count\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"sampled_total\""), std::string::npos);
+  EXPECT_NE(body.find("\"slow_total\""), std::string::npos);
+  if (!obs::kEnabled) return;  // PF_OBS=OFF: endpoint answers, rings empty
+
+  EXPECT_NE(body.find("\"trace_id\""), std::string::npos) << body;
+  for (const char* stage :
+       {"\"decode\"", "\"queue_wait\"", "\"exec\"", "\"shard_probe\"",
+        "\"completion\"", "\"write\""}) {
+    EXPECT_NE(body.find(stage), std::string::npos) << "missing span " << stage;
+  }
+}
+
 }  // namespace
 }  // namespace prefixfilter::net

@@ -5,7 +5,9 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "src/obs/exposition.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_sink.h"
 #include "src/util/serialize.h"
 
 namespace prefixfilter::obs {
@@ -363,6 +367,207 @@ TEST(ScopedLatency, RecordsOnDestructionAndToleratesNull) {
   EXPECT_EQ(h.Snapshot().count, 1u);
   {
     ScopedLatency timer(nullptr);  // must not crash
+  }
+}
+
+// --- request tracing --------------------------------------------------------
+
+TEST(ActiveTrace, SpanOverflowCountsDropsInsteadOfWriting) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  ActiveTrace active;
+  for (uint32_t i = 0; i < kMaxTraceSpans + 5; ++i) {
+    active.AddSpan(TraceStage::kShardProbe, i, i + 1, i);
+  }
+  EXPECT_EQ(active.t.span_count, kMaxTraceSpans);
+  EXPECT_EQ(active.t.spans_dropped, 5u);
+  EXPECT_EQ(active.t.spans[kMaxTraceSpans - 1].detail, kMaxTraceSpans - 1);
+}
+
+TEST(CurrentTrace, ThreadLocalInstallAndScopedReset) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  ActiveTrace active;
+  {
+    ScopedCurrentTrace scope(&active);
+    if (kEnabled) {
+      EXPECT_EQ(CurrentTrace(), &active);
+    } else {
+      EXPECT_EQ(CurrentTrace(), nullptr);
+    }
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceRing, WrapAroundKeepsTheNewestWritePerSlot) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    Trace t;
+    t.trace_id = i;
+    ring.Push(t);
+  }
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<Trace> out;
+  ring.Snapshot(&out);
+  ASSERT_EQ(out.size(), 4u);
+  // Slot k last received trace 6+((k+2)%4) — only the newest four survive.
+  std::vector<uint64_t> ids;
+  for (const Trace& t : out) ids.push_back(t.trace_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(TraceRing, ConcurrentPushAndSnapshotNeverYieldTornTraces) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  TraceRing ring(8);
+  // Writers stamp every word of the trace with the same value; a torn read
+  // surviving into a snapshot would mix two stamps.
+  constexpr uint64_t kPushesPerWriter = 20'000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&ring, w]() {
+      for (uint64_t i = 1; i <= kPushesPerWriter; ++i) {
+        Trace t;
+        const uint64_t stamp = (static_cast<uint64_t>(w) << 32) | i;
+        t.trace_id = stamp;
+        t.start_ns = stamp;
+        t.end_ns = stamp;
+        t.conn_id = stamp;
+        ring.Push(t);
+      }
+    });
+  }
+  // While writers hammer the ring, every trace a snapshot does return must
+  // be consistent (slots mid-write are skipped, so snapshots may be small
+  // under this much contention — torn stamps are the only bug).
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Trace> out;
+    ring.Snapshot(&out);
+    for (const Trace& t : out) {
+      EXPECT_EQ(t.start_ns, t.trace_id);
+      EXPECT_EQ(t.end_ns, t.trace_id);
+      EXPECT_EQ(t.conn_id, t.trace_id);
+    }
+  }
+  for (auto& th : writers) th.join();
+  // Quiescent ring: the snapshot now sees every slot, all consistent.
+  std::vector<Trace> out;
+  ring.Snapshot(&out);
+  EXPECT_EQ(out.size(), ring.capacity());
+  for (const Trace& t : out) {
+    EXPECT_EQ(t.start_ns, t.trace_id);
+    EXPECT_EQ(t.end_ns, t.trace_id);
+    EXPECT_EQ(t.conn_id, t.trace_id);
+  }
+  EXPECT_EQ(ring.pushed() + ring.dropped(), 4 * kPushesPerWriter);
+}
+
+TEST(TraceSink, RoutesSlowCapturesAwayFromSampledFlood) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  TraceSink sink(4);
+  Trace slow;
+  slow.trace_id = 1;
+  slow.flags = kTraceSampled | kTraceSlow;
+  sink.Push(slow);
+  // A flood of sampled traces wraps the sampled ring many times over ...
+  for (uint64_t i = 0; i < 64; ++i) {
+    Trace t;
+    t.trace_id = 100 + i;
+    t.flags = kTraceSampled;
+    sink.Push(t);
+  }
+  const TraceSinkStats stats = sink.stats();
+  EXPECT_EQ(stats.slow, 1u);
+  EXPECT_EQ(stats.sampled, 64u);
+  // ... yet the slow capture survives, and leads the snapshot.
+  const std::vector<Trace> out = sink.Snapshot();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().trace_id, 1u);
+  EXPECT_TRUE(out.front().slow());
+}
+
+TEST(TraceSink, RenderTracesJsonEmitsTimelinesAndCounters) {
+  Trace t;
+  t.trace_id = 0xABCD;
+  t.flags = kTraceSlow;
+  t.start_ns = 1000;
+  t.end_ns = 5000;
+  t.span_count = 1;
+  t.spans[0] = {static_cast<uint8_t>(TraceStage::kQueueWait), 2000, 3000, 0};
+  TraceSinkStats stats;
+  stats.slow = 1;
+  const std::string json = RenderTracesJson({t}, stats);
+  EXPECT_NE(json.find("\"000000000000abcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"slow_total\": 1"), std::string::npos);
+  // Span times render as offsets from the trace start.
+  EXPECT_NE(json.find("\"duration_ns\": 4000"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\": 1000"), std::string::npos);
+}
+
+TEST(TraceStageNames, EveryStageHasAStableName) {
+  for (uint32_t s = 0; s < kNumTraceStages; ++s) {
+    const char* name = TraceStageName(static_cast<TraceStage>(s));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+  }
+}
+
+TEST(LatencyHistogram, RecordWithExemplarSurfacesTraceIds) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  LatencyHistogram h;
+  h.RecordWithExemplar(100, 0xDEAD);
+  h.RecordWithExemplar(1'000'000, 0xBEEF);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  ASSERT_EQ(snap.exemplars.size(), 2u);
+  std::vector<uint64_t> ids;
+  for (const auto& ex : snap.exemplars) ids.push_back(ex.trace_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{0xBEEF, 0xDEAD}));
+
+  // Exemplars surface as comment lines in the text exposition (0.0.4 has no
+  // exemplar syntax, and comments pass through every parser).
+  MetricSample s;
+  s.name = "svc.ns";
+  s.kind = MetricKind::kHistogram;
+  s.hist = snap;
+  const std::string text = RenderPrometheusText({s});
+  EXPECT_NE(text.find("# exemplar pf_svc_ns"), std::string::npos);
+  EXPECT_NE(text.find("trace_id=000000000000dead"), std::string::npos);
+}
+
+TEST(Exposition, HostileLabelValuesAreEscapedOnEveryLine) {
+  // Quote, backslash, newline in a label value must never corrupt the
+  // exposition: each renders escaped on counter lines AND on histogram
+  // bucket lines (where the value shares the braces with le="...").
+  MetricSample counter;
+  counter.name = "evil.counter";
+  counter.kind = MetricKind::kCounter;
+  counter.labels = {{"op", "a\"b\\c\nd"}};
+  counter.value = 1;
+
+  MetricSample hist;
+  hist.name = "evil.hist";
+  hist.kind = MetricKind::kHistogram;
+  hist.labels = {{"op", "x\"y"}};
+  hist.hist.count = 1;
+  hist.hist.sum = 5;
+  hist.hist.min = 5;
+  hist.hist.max = 5;
+  hist.hist.buckets = {{5, 1}};
+
+  const std::string text = RenderPrometheusText({counter, hist});
+  EXPECT_NE(text.find("op=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_NE(text.find("op=\"x\\\"y\",le=\"5\""), std::string::npos)
+      << text;
+  // No raw (unescaped) newline may appear inside any braces.
+  for (size_t open = text.find('{'); open != std::string::npos;
+       open = text.find('{', open + 1)) {
+    const size_t close = text.find('}', open);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(text.find('\n', open) > close, true) << text;
   }
 }
 

@@ -289,5 +289,156 @@ TEST(Protocol, DecoderCompactionKeepsLongStreamsBounded) {
   EXPECT_EQ(frames_popped, 200u);
 }
 
+TEST(Protocol, TracedKeyBatchRoundTripsAndPlainEncodingIsUnchanged) {
+  const std::vector<uint64_t> keys = RandomKeys(64, 9);
+
+  // A traced frame carries kFlagTraced plus the 9-byte context prefix; the
+  // remainder decodes as the ordinary key-batch payload.
+  TraceContext context;
+  context.trace_id = 0xABCDEF0123456789ull;
+  context.sampled = true;
+  std::vector<uint8_t> bytes;
+  EncodeTracedKeyBatchRequest(Opcode::kQueryBatch, 11, context, keys.data(),
+                              keys.size(), &bytes);
+  DecodeStatus status;
+  const std::vector<Frame> frames = DecodeAll(bytes, 5, &status);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NE(frames[0].flags & kFlagTraced, 0);
+  TraceContext decoded;
+  ASSERT_TRUE(DecodeTraceContext(frames[0].payload.data(),
+                                 frames[0].payload.size(), &decoded));
+  EXPECT_EQ(decoded.trace_id, context.trace_id);
+  EXPECT_TRUE(decoded.sampled);
+  std::vector<uint64_t> decoded_keys;
+  ASSERT_TRUE(DecodeKeyBatchPayload(
+      frames[0].payload.data() + kTraceContextBytes,
+      frames[0].payload.size() - kTraceContextBytes, &decoded_keys));
+  EXPECT_EQ(decoded_keys, keys);
+
+  // The traced payload must NOT parse as a plain key batch: a server that
+  // misses the flag cannot silently misread the prefix as keys.
+  std::vector<uint64_t> misread;
+  EXPECT_FALSE(AppendKeyBatchPayload(frames[0].payload.data(),
+                                     frames[0].payload.size(), &misread));
+  EXPECT_TRUE(misread.empty());
+
+  // Context shorter than the prefix is rejected.
+  EXPECT_FALSE(DecodeTraceContext(frames[0].payload.data(),
+                                  kTraceContextBytes - 1, &decoded));
+
+  // Backward compatibility: the untraced encoder's bytes are unchanged by
+  // this feature — byte-identical to what pre-tracing builds emitted.
+  std::vector<uint8_t> plain;
+  EncodeKeyBatchRequest(Opcode::kQueryBatch, 11, keys.data(), keys.size(),
+                        &plain);
+  DecodeStatus plain_status;
+  const std::vector<Frame> plain_frames =
+      DecodeAll(plain, plain.size(), &plain_status);
+  ASSERT_EQ(plain_frames.size(), 1u);
+  EXPECT_EQ(plain_frames[0].flags & kFlagTraced, 0);
+  EXPECT_EQ(plain_frames[0].payload.size(),
+            frames[0].payload.size() - kTraceContextBytes);
+}
+
+TEST(Protocol, StatsV3CarriesCapabilitiesAndRejectsTruncations) {
+  WireStats stats;
+  stats.filter_name = "PF[TC]";
+  stats.capacity = 1024;
+  stats.front_cache_misses = 7;
+  stats.capabilities = kCapTraceContext | kCapTraces;
+  std::vector<uint8_t> bytes;
+  EncodeStatsV3Response(21, stats, &bytes);
+
+  DecodeStatus status;
+  const std::vector<Frame> frames = DecodeAll(bytes, bytes.size(), &status);
+  ASSERT_EQ(frames.size(), 1u);
+  WireStats decoded;
+  ASSERT_TRUE(DecodeStatsPayload(frames[0].payload.data(),
+                                 frames[0].payload.size(), &decoded));
+  EXPECT_EQ(decoded.capabilities, kCapTraceContext | kCapTraces);
+  EXPECT_EQ(decoded.front_cache_misses, 7u);
+
+  // v2 and v1 payloads decode with zero capabilities (the safe default).
+  std::vector<uint8_t> v2;
+  EncodeStatsV2Response(22, stats, &v2);
+  const std::vector<Frame> v2_frames = DecodeAll(v2, v2.size(), &status);
+  ASSERT_EQ(v2_frames.size(), 1u);
+  WireStats v2_decoded;
+  ASSERT_TRUE(DecodeStatsPayload(v2_frames[0].payload.data(),
+                                 v2_frames[0].payload.size(), &v2_decoded));
+  EXPECT_EQ(v2_decoded.capabilities, 0u);
+
+  // Version negotiation: the request encodes the max version it decodes.
+  std::vector<uint8_t> req;
+  EncodeStatsRequest(23, kStatsPayloadV3, &req);
+  const std::vector<Frame> req_frames = DecodeAll(req, req.size(), &status);
+  ASSERT_EQ(req_frames.size(), 1u);
+  EXPECT_EQ(StatsRequestVersion(req_frames[0].payload.data(),
+                                req_frames[0].payload.size()),
+            kStatsPayloadV3);
+  EXPECT_EQ(StatsRequestVersion(nullptr, 0), kStatsPayloadV1);
+
+  // Every strict prefix of the v3 payload is rejected.
+  const std::vector<uint8_t>& payload = frames[0].payload;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    WireStats sink;
+    EXPECT_FALSE(DecodeStatsPayload(payload.data(), len, &sink)) << len;
+  }
+}
+
+TEST(Protocol, TracesPayloadRoundTripsAndRejectsTruncations) {
+  std::vector<obs::Trace> traces(3);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    obs::Trace& t = traces[i];
+    t.trace_id = 0x1000 + i;
+    t.request_id = 50 + i;
+    t.conn_id = 7;
+    t.start_ns = 1'000'000;
+    t.end_ns = 2'000'000 + i;
+    t.loop = 2;
+    t.key_count = 4096;
+    t.frames = 4;
+    t.opcode = static_cast<uint8_t>(Opcode::kQueryBatch);
+    t.flags = obs::kTraceSampled | (i == 0 ? obs::kTraceSlow : 0);
+    // Spans written directly (not via AddSpan, which no-ops under
+    // PF_OBS=OFF — the codec itself must round-trip in every build).
+    t.spans[0] = {static_cast<uint8_t>(obs::TraceStage::kReadDecode),
+                  1'000'000, 1'100'000, 0};
+    t.spans[1] = {static_cast<uint8_t>(obs::TraceStage::kShardProbe),
+                  1'100'000, 1'200'000, (uint64_t{5} << 32) | 256u};
+    t.span_count = 2;
+  }
+
+  std::vector<uint8_t> bytes;
+  EncodeTracesResponse(31, traces, &bytes);
+  DecodeStatus status;
+  const std::vector<Frame> frames = DecodeAll(bytes, 7, &status);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].opcode, static_cast<uint8_t>(Opcode::kTraces));
+
+  std::vector<obs::Trace> decoded;
+  ASSERT_TRUE(DecodeTracesPayload(frames[0].payload.data(),
+                                  frames[0].payload.size(), &decoded));
+  ASSERT_EQ(decoded.size(), traces.size());
+  EXPECT_EQ(decoded[0].trace_id, traces[0].trace_id);
+  EXPECT_TRUE(decoded[0].slow());
+  EXPECT_FALSE(decoded[1].slow());
+  ASSERT_EQ(decoded[2].span_count, 2u);
+  EXPECT_EQ(decoded[2].spans[1].stage,
+            static_cast<uint8_t>(obs::TraceStage::kShardProbe));
+  EXPECT_EQ(decoded[2].spans[1].detail, (uint64_t{5} << 32) | 256u);
+
+  // Truncations and trailing garbage are rejected, never crash.
+  const std::vector<uint8_t>& payload = frames[0].payload;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<obs::Trace> sink;
+    EXPECT_FALSE(DecodeTracesPayload(payload.data(), len, &sink)) << len;
+  }
+  std::vector<uint8_t> extended = payload;
+  extended.push_back(0);
+  std::vector<obs::Trace> sink;
+  EXPECT_FALSE(DecodeTracesPayload(extended.data(), extended.size(), &sink));
+}
+
 }  // namespace
 }  // namespace prefixfilter::net

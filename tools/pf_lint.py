@@ -64,14 +64,24 @@ PARSER_FILES = (
     "src/core/filter_factory.cc",
 )
 
-OBS_INSTRUMENT_HEADER = "src/obs/metrics.h"
+# Instrument headers whose mutation methods must compile out.  The first is
+# the anchor of the whole obs contract and must exist; the tracing headers
+# are optional (a checkout predating them, or a lint-test fixture, simply
+# skips them).
+OBS_INSTRUMENT_HEADERS = (
+    "src/obs/metrics.h",
+    "src/obs/trace.h",
+    "src/obs/trace_sink.h",
+)
 
 ALLOW_RE = re.compile(r"//\s*pf-lint:\s*allow\(([a-z0-9-]+)\)")
 
-# A mutation-method definition in the instrument header.
+# A mutation-method definition in an instrument header (longest names first
+# so AddSpan/RecordWithExemplar capture whole, not as their prefixes).
 OBS_UPDATE_RE = re.compile(
     r"^\s*(?:inline\s+)?(?:void|uint64_t)\s+"
-    r"(Add|Set|Record|Observe|Increment|NowNanos)\s*\("
+    r"(AddSpan|Add|RecordWithExemplar|Record|Set|Observe|Increment|NowNanos"
+    r"|Push)\s*\("
 )
 
 # Raw unchecked fixed-width read from a byte pointer.
@@ -166,28 +176,30 @@ def extract_body(lines, start):
 
 
 def check_obs_compile_out(root, violations):
-    path = root / OBS_INSTRUMENT_HEADER
-    if not path.is_file():
-        violations.append(
-            Violation(OBS_INSTRUMENT_HEADER, 1, "obs-compile-out",
-                      "instrument header missing"))
-        return
-    lines = path.read_text().splitlines()
-    i = 0
-    while i < len(lines):
-        m = OBS_UPDATE_RE.match(strip_line_comment(lines[i]))
-        if not m:
-            i += 1
-            continue
-        body, end = extract_body(lines, i)
-        if body is not None and "PF_OBS_DISABLED" not in body:
-            if not suppressed(lines, i, "obs-compile-out"):
+    for index, rel in enumerate(OBS_INSTRUMENT_HEADERS):
+        path = root / rel
+        if not path.is_file():
+            if index == 0:
                 violations.append(
-                    Violation(OBS_INSTRUMENT_HEADER, i + 1, "obs-compile-out",
-                              f"update method {m.group(1)}() is not compiled "
-                              "out under PF_OBS=OFF (no PF_OBS_DISABLED "
-                              "guard in its body)"))
-        i = end + 1
+                    Violation(rel, 1, "obs-compile-out",
+                              "instrument header missing"))
+            continue
+        lines = path.read_text().splitlines()
+        i = 0
+        while i < len(lines):
+            m = OBS_UPDATE_RE.match(strip_line_comment(lines[i]))
+            if not m:
+                i += 1
+                continue
+            body, end = extract_body(lines, i)
+            if body is not None and "PF_OBS_DISABLED" not in body:
+                if not suppressed(lines, i, "obs-compile-out"):
+                    violations.append(
+                        Violation(rel, i + 1, "obs-compile-out",
+                                  f"update method {m.group(1)}() is not "
+                                  "compiled out under PF_OBS=OFF (no "
+                                  "PF_OBS_DISABLED guard in its body)"))
+            i = end + 1
 
 
 def check_parser_file(root, rel, violations):
